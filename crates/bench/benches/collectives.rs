@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the collective-communication models, including
+//! the functional (data-moving) collectives used for tensor-parallel
+//! verification.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dcm_core::tensor::Tensor;
+use dcm_core::{rng, DType, DeviceSpec};
+use dcm_net::{functional, Collective, CollectiveModel};
+
+fn bench_timing_model(c: &mut Criterion) {
+    let gaudi = CollectiveModel::new(&DeviceSpec::gaudi2());
+    c.bench_function("collective-sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for coll in Collective::ALL {
+                for n in [2usize, 4, 8] {
+                    for kb in [2u64, 512, 32768] {
+                        acc += gaudi.bus_utilization(coll, kb << 10, n);
+                    }
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_functional_allreduce(c: &mut Criterion) {
+    let mut r = rng::seeded(3);
+    let tensors: Vec<Tensor> = (0..8)
+        .map(|_| Tensor::random([4096], DType::Fp32, &mut r))
+        .collect();
+    c.bench_function("functional-allreduce-8x4096", |b| {
+        b.iter(|| {
+            let mut ts = tensors.clone();
+            functional::allreduce(&mut ts).expect("uniform shapes");
+            black_box(ts[0].data()[0])
+        });
+    });
+}
+
+criterion_group!(benches, bench_timing_model, bench_functional_allreduce);
+criterion_main!(benches);

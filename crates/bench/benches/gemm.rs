@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the GEMM engine models (the simulator itself —
+//! geometry/tile selection and cycle accounting). The *figures* come from
+//! the `src/bin/figXX_*` binaries; these benches guard the cost of the
+//! analytical models, which the serving engines call in inner loops.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dcm_core::{DType, DeviceSpec};
+use dcm_mme::{A100TensorCore, GaudiMme, GemmEngine, GemmShape};
+
+fn bench_gemm_models(c: &mut Criterion) {
+    let gaudi = GaudiMme::new(&DeviceSpec::gaudi2());
+    let a100 = A100TensorCore::new(&DeviceSpec::a100());
+    let shapes = [
+        GemmShape::square(512),
+        GemmShape::square(8192),
+        GemmShape::new(16384, 16384, 16),
+        GemmShape::new(8, 14336, 4096),
+    ];
+
+    let mut g = c.benchmark_group("gemm-model");
+    g.bench_function("gaudi-geometry-select+price", |b| {
+        b.iter(|| {
+            for &s in &shapes {
+                black_box(gaudi.gemm(black_box(s), DType::Bf16));
+            }
+        });
+    });
+    g.bench_function("a100-tile-select+price", |b| {
+        b.iter(|| {
+            for &s in &shapes {
+                black_box(a100.gemm(black_box(s), DType::Bf16));
+            }
+        });
+    });
+    g.bench_function("gaudi-batched-gemv-2048", |b| {
+        b.iter(|| {
+            black_box(gaudi.batched_gemm(2048, GemmShape::new(1, 128, 1024), DType::Bf16))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm_models);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the vector-engine and memory models, plus the
+//! functional TPC kernel path (the embedded TPC-C DSL executing real data).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dcm_core::tensor::{Tensor, TensorDesc};
+use dcm_core::{rng, DType, DeviceSpec};
+use dcm_mem::GatherScatterEngine;
+use dcm_tpc::engine::{StreamKernel, VectorEngineModel};
+use dcm_tpc::index_space::{IndexMember, IndexSpace};
+use dcm_tpc::program::{TpcContext, TpcExecutor};
+
+fn bench_stream_model(c: &mut Criterion) {
+    let gaudi = VectorEngineModel::new(&DeviceSpec::gaudi2());
+    c.bench_function("stream-kernel-sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for gran in [2usize, 64, 256, 2048] {
+                for unroll in [1usize, 4, 16] {
+                    let k = StreamKernel::triad()
+                        .with_granularity(gran)
+                        .with_unroll(unroll);
+                    acc += gaudi.throughput(black_box(&k), 24, DType::Bf16);
+                }
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_gather_model(c: &mut Criterion) {
+    let gaudi = GatherScatterEngine::new(&DeviceSpec::gaudi2());
+    c.bench_function("gather-cost-sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for size in [16usize, 256, 2048] {
+                acc += gaudi.gather_utilization(black_box(1 << 20), size);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_functional_tpc(c: &mut Criterion) {
+    let exec = TpcExecutor::new(&DeviceSpec::gaudi2());
+    let mut r = rng::seeded(1);
+    let n = 64 * 256;
+    let a = Tensor::random([n], DType::Fp32, &mut r);
+    let b_in = Tensor::random([n], DType::Fp32, &mut r);
+    let space = IndexSpace::linear(256);
+    c.bench_function("functional-tpc-vector-add-16k", |bch| {
+        bch.iter(|| {
+            let res = exec
+                .launch(
+                    &|ctx: &mut TpcContext<'_>, m: IndexMember| {
+                        let x = ctx.ld_tnsr(0, m.coord(0) * 64, 64)?;
+                        let y = ctx.ld_tnsr(1, m.coord(0) * 64, 64)?;
+                        let s = ctx.v_add(&x, &y)?;
+                        ctx.st_tnsr(0, m.coord(0) * 64, &s)
+                    },
+                    &space,
+                    &[&a, &b_in],
+                    &[TensorDesc::new([n], DType::Fp32)],
+                )
+                .expect("kernel runs");
+            black_box(res.cost.time())
+        });
+    });
+}
+
+criterion_group!(benches, bench_stream_model, bench_gather_model, bench_functional_tpc);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the end-to-end serving paths: one DLRM batch,
+//! one Llama decode step, one PagedAttention pricing, and a short
+//! continuous-batching run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dcm_compiler::{CompileOptions, Device};
+use dcm_embedding::BatchedTableOp;
+use dcm_vllm::attention::{PagedAttention, PagedBackend};
+use dcm_vllm::dataset::SyntheticDataset;
+use dcm_vllm::engine::ServingEngine;
+use dcm_workloads::dlrm::{DlrmConfig, DlrmServer};
+use dcm_workloads::llama::LlamaConfig;
+
+fn bench_dlrm(c: &mut Criterion) {
+    let gaudi = Device::gaudi2();
+    let op = BatchedTableOp::new(gaudi.spec());
+    let server = DlrmServer::new(DlrmConfig::rm2(256));
+    c.bench_function("dlrm-rm2-serve-batch2048", |b| {
+        b.iter(|| black_box(server.serve(&gaudi, &op, black_box(2048)).time_s()));
+    });
+}
+
+fn bench_llama_step(c: &mut Criterion) {
+    let gaudi = Device::gaudi2();
+    let cfg = LlamaConfig::llama31_8b();
+    let graph = cfg.decode_step_graph(64, 1024, 1);
+    let opts = CompileOptions::default();
+    c.bench_function("llama8b-decode-step-price", |b| {
+        b.iter(|| black_box(gaudi.run_graph(black_box(&graph), &opts).time_s()));
+    });
+}
+
+fn bench_paged_attention(c: &mut Criterion) {
+    let gaudi = Device::gaudi2();
+    let cfg = LlamaConfig::llama31_8b();
+    let opt = PagedAttention::new(&gaudi, PagedBackend::GaudiOpt, &cfg, 1);
+    let lens: Vec<usize> = (0..64).map(|i| 256 + i * 32).collect();
+    c.bench_function("paged-attention-price-b64", |b| {
+        b.iter(|| black_box(opt.decode_cost(black_box(&lens), 0.0).time()));
+    });
+}
+
+fn bench_serving_engine(c: &mut Criterion) {
+    let gaudi = Device::gaudi2();
+    let trace = SyntheticDataset::fixed(6, 256, 16);
+    c.bench_function("serving-engine-6-requests", |b| {
+        b.iter(|| {
+            let mut engine = ServingEngine::new(
+                &gaudi,
+                LlamaConfig::llama31_8b(),
+                1,
+                PagedBackend::GaudiOpt,
+                6,
+            );
+            black_box(engine.run(&trace).expect("trace fits").throughput_tps)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_dlrm,
+    bench_llama_step,
+    bench_paged_attention,
+    bench_serving_engine
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: how much does MME reconfigurability buy end to end?
+//!
+//! Figure 7(c) quantifies the utilization gain at the kernel level; this
+//! ablation locks the MME to the fixed 256×256×2 output-stationary layout
+//! (via the `FixedSystolicBaseline`) and measures the end-to-end effect on
+//! the GEMM shapes that dominate LLM serving.
+
+use dcm_bench::banner;
+use dcm_core::metrics::Table;
+use dcm_core::{DType, DeviceSpec};
+use dcm_mme::{FixedSystolicBaseline, GaudiMme, GemmEngine, GemmShape};
+
+fn main() {
+    banner(
+        "Ablation: reconfigurable MME vs fixed 256x256x2 systolic array",
+        "Figure 7(c): up to ~15pp utilization; here mapped onto serving-critical shapes",
+    );
+    let spec = DeviceSpec::gaudi2();
+    let mme = GaudiMme::new(&spec);
+    let fixed = FixedSystolicBaseline::new(&spec);
+
+    let shapes: Vec<(&str, GemmShape, usize)> = vec![
+        // (description, shape, batch)
+        ("prefill QKV (64x100 tokens)", GemmShape::new(6400, 4096, 6144), 1),
+        ("decode QKV (batch 64)", GemmShape::new(64, 4096, 6144), 1),
+        ("decode MLP up (batch 64)", GemmShape::new(64, 4096, 28672), 1),
+        ("decode MLP down (batch 64)", GemmShape::new(64, 14336, 4096), 1),
+        ("lm head (batch 64)", GemmShape::new(64, 4096, 128256), 1),
+        ("attention GEMV x2048", GemmShape::new(1, 128, 1024), 2048),
+        ("tall-skinny (Fig 6)", GemmShape::new(16384, 16384, 128), 1),
+    ];
+
+    let mut t = Table::new(
+        "per-shape compute time (us) and selected geometry",
+        &["shape", "reconfig us", "geometry", "fixed us", "speedup"],
+    );
+    let mut total_cfg = 0.0;
+    let mut total_fix = 0.0;
+    for (name, shape, batch) in &shapes {
+        let c = mme.batched_gemm(*batch, *shape, DType::Bf16);
+        let f = fixed.batched_gemm(*batch, *shape, DType::Bf16);
+        total_cfg += c.cost.time();
+        total_fix += f.cost.time();
+        t.push(&[
+            (*name).to_owned(),
+            format!("{:.1}", c.cost.time() * 1e6),
+            c.config.clone(),
+            format!("{:.1}", f.cost.time() * 1e6),
+            format!("{:.2}x", f.cost.time() / c.cost.time()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\naggregate over these shapes: reconfigurable {:.1} us vs fixed {:.1} us ({:.2}x)",
+        total_cfg * 1e6,
+        total_fix * 1e6,
+        total_fix / total_cfg
+    );
+    println!(
+        "memory-bound decode shapes mask the gain (time set by HBM); the win\n\
+         concentrates in compute-bound tall/skinny and batched-GEMV shapes —\n\
+         consistent with Figure 7(c) showing gains only at small N."
+    );
+}

@@ -1,0 +1,73 @@
+//! Ablation: the graph compiler's two optimization passes.
+//!
+//! §2.2 describes element-wise fusion and MME→TPC pipelining; §4.2 shows
+//! the pipelining pass is what `vLLM_opt`'s data layout re-enables. This
+//! ablation toggles each pass independently across representative graphs.
+
+use dcm_bench::banner;
+use dcm_compiler::{CompileOptions, Device, Graph};
+use dcm_core::metrics::Table;
+use dcm_workloads::dlrm::DlrmConfig;
+use dcm_workloads::llama::LlamaConfig;
+
+fn options(fuse: bool, slices: usize) -> CompileOptions {
+    CompileOptions {
+        fuse_elementwise: fuse,
+        pipeline_slices: slices,
+    }
+}
+
+fn main() {
+    banner(
+        "Ablation: graph-compiler passes (fusion x pipelining)",
+        "§2.2/§4.2: pipelining hides TPC work under MME time; fusion removes HBM round trips",
+    );
+    let graphs: Vec<(String, Graph)> = vec![
+        (
+            "Llama-8B prefill b8 len512".to_owned(),
+            LlamaConfig::llama31_8b().prefill_graph(8, 512, 1),
+        ),
+        (
+            "Llama-8B decode b64 ctx1024".to_owned(),
+            LlamaConfig::llama31_8b().decode_step_graph(64, 1024, 1),
+        ),
+        (
+            "RM1 dense b4096".to_owned(),
+            DlrmConfig::rm1(256).dense_graph(4096),
+        ),
+    ];
+    let configs: [(&str, CompileOptions); 4] = [
+        ("none", options(false, 1)),
+        ("fusion only", options(true, 1)),
+        ("pipelining only", options(false, 16)),
+        ("both (default)", options(true, 16)),
+    ];
+
+    for device in [Device::gaudi2(), Device::a100()] {
+        let mut t = Table::new(
+            format!("{}: graph latency (us) under each pass combination", device.name()),
+            &["graph", "none", "fusion", "pipelining", "both", "total gain"],
+        );
+        for (name, graph) in &graphs {
+            let times: Vec<f64> = configs
+                .iter()
+                .map(|(_, opts)| device.run_graph(graph, opts).time_s())
+                .collect();
+            t.push(&[
+                name.clone(),
+                format!("{:.0}", times[0] * 1e6),
+                format!("{:.0}", times[1] * 1e6),
+                format!("{:.0}", times[2] * 1e6),
+                format!("{:.0}", times[3] * 1e6),
+                format!("{:.1}%", 100.0 * (times[0] - times[3]) / times[0]),
+            ]);
+        }
+        print!("{}", t.render());
+        println!();
+    }
+    println!(
+        "conclusion: pipelining carries most of the benefit on GEMM+activation\n\
+         chains (it is what vLLM_opt's BlockList layout re-enables, §4.2);\n\
+         fusion matters where element-wise chains would round-trip HBM."
+    );
+}

@@ -1,0 +1,69 @@
+//! Extension: project the paper's headline experiments onto Gaudi-3.
+//!
+//! Footnote 1 of the paper: Gaudi-3 is architecturally identical to
+//! Gaudi-2 but scales compute and memory via chiplets. Since every result
+//! in this repository emerges from mechanisms parameterized by a
+//! `DeviceSpec`, projecting the study onto Gaudi-3 is one constructor
+//! away. (The A100 comparison becomes generationally unfair — Gaudi-3's
+//! contemporaries are H100-class — so read these as scaling projections,
+//! not a rivalry claim.)
+
+use dcm_bench::banner;
+use dcm_compiler::Device;
+use dcm_core::metrics::Table;
+use dcm_core::DType;
+use dcm_mme::GemmShape;
+use dcm_workloads::llama::{LlamaConfig, LlamaServer};
+
+fn main() {
+    banner(
+        "Extension: Gaudi-3 projection (footnote 1)",
+        "same architecture, chiplet-scaled: ~4.2x matrix compute, 1.5x bandwidth, 2x links",
+    );
+    let g2 = Device::gaudi2();
+    let g3 = Device::gaudi3();
+    let a100 = Device::a100();
+
+    let mut t = Table::new(
+        "GEMM: achieved TFLOPS (BF16)",
+        &["shape", "Gaudi-2", "Gaudi-3", "A100"],
+    );
+    for n in [2048usize, 4096, 8192] {
+        let s = GemmShape::square(n);
+        t.push(&[
+            s.to_string(),
+            format!("{:.0}", g2.gemm(s, DType::Bf16).achieved_flops() / 1e12),
+            format!("{:.0}", g3.gemm(s, DType::Bf16).achieved_flops() / 1e12),
+            format!("{:.0}", a100.gemm(s, DType::Bf16).achieved_flops() / 1e12),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let mut l = Table::new(
+        "Llama serving, batch 64, 100 in / 100 out: end-to-end latency (ms)",
+        &["model x devices", "Gaudi-2", "Gaudi-3", "A100", "G3 vs G2"],
+    );
+    for (cfg, tp) in [
+        (LlamaConfig::llama31_8b(), 1usize),
+        (LlamaConfig::llama31_70b(), 2),
+        (LlamaConfig::llama31_70b(), 8),
+    ] {
+        let server = LlamaServer::new(cfg.clone(), tp);
+        let t2 = server.serve(&g2, 64, 100, 100).total_time_s();
+        let t3 = server.serve(&g3, 64, 100, 100).total_time_s();
+        let ta = server.serve(&a100, 64, 100, 100).total_time_s();
+        l.push(&[
+            format!("{} x{tp}", cfg.name),
+            format!("{:.0}", t2 * 1e3),
+            format!("{:.0}", t3 * 1e3),
+            format!("{:.0}", ta * 1e3),
+            format!("{:.2}x", t2 / t3),
+        ]);
+    }
+    print!("{}", l.render());
+    println!(
+        "\ndecode is bandwidth-bound, so Gaudi-3's LLM gain tracks its 1.5x HBM\n\
+         scaling more than its 4x compute scaling — the same roofline logic\n\
+         that governed the Gaudi-2 study."
+    );
+}

@@ -1,0 +1,66 @@
+//! Extension: multi-node training scale-out.
+//!
+//! §5 claims competitiveness "for training large-scale AI models requiring
+//! hundreds to thousands of devices". This projects the one-node training
+//! step of `ext_training` onto clusters via the hierarchical all-reduce
+//! model: intra-node fabric, then each device's scale-out rail (Gaudi-2:
+//! 3×100 GbE of its 24 RoCE ports; DGX A100: one HDR200 NIC per GPU).
+
+use dcm_bench::banner;
+use dcm_compiler::Device;
+use dcm_core::metrics::Table;
+use dcm_net::MultiNodeModel;
+use dcm_workloads::training::{cluster_tokens_per_second, TrainingConfig};
+
+fn main() {
+    banner(
+        "Extension: cluster-scale training (hierarchical all-reduce)",
+        "§5 future work: hundreds to thousands of devices",
+    );
+    let gaudi = Device::gaudi2();
+    let a100 = Device::a100();
+
+    // Raw scale-out all-reduce of an 8B model's gradients (16 GB).
+    let mut ar = Table::new(
+        "16 GB gradient all-reduce time (ms) by cluster size",
+        &["nodes", "devices", "HLS-Gaudi-2", "DGX A100"],
+    );
+    for nodes in [1usize, 2, 4, 16, 64, 128] {
+        let g = MultiNodeModel::new(gaudi.spec(), nodes);
+        let a = MultiNodeModel::new(a100.spec(), nodes);
+        ar.push(&[
+            nodes.to_string(),
+            (nodes * 8).to_string(),
+            format!("{:.0}", g.allreduce_time(16 << 30) * 1e3),
+            format!("{:.0}", a.allreduce_time(16 << 30) * 1e3),
+        ]);
+    }
+    print!("{}", ar.render());
+
+    // End-to-end training throughput.
+    let cfg = TrainingConfig::llama8b_node();
+    let mut t = Table::new(
+        "Llama-3.1-8B training throughput (tokens/s) by cluster size",
+        &["nodes", "devices", "Gaudi-2", "A100", "speedup", "Gaudi scaling eff"],
+    );
+    let g1 = cluster_tokens_per_second(&gaudi, &cfg, 1);
+    for nodes in [1usize, 2, 4, 16, 64] {
+        let g = cluster_tokens_per_second(&gaudi, &cfg, nodes);
+        let a = cluster_tokens_per_second(&a100, &cfg, nodes);
+        t.push(&[
+            nodes.to_string(),
+            (nodes * 8).to_string(),
+            format!("{g:.0}"),
+            format!("{a:.0}"),
+            format!("{:.2}x", g / a),
+            format!("{:.0}%", 100.0 * g / (g1 * nodes as f64)),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "\nGaudi-2's per-device scale-out bandwidth (37.5 GB/s) exceeds the\n\
+         DGX A100's HDR rail (25 GB/s), so — in this projection — the training\n\
+         edge survives scale-out, supporting Intel's §5 claim within the\n\
+         limits of a first-order model (no topology contention, no stragglers)."
+    );
+}

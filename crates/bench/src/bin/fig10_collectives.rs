@@ -1,0 +1,60 @@
+//! Regenerates Figure 10: bus-bandwidth utilization of the six collective
+//! communication operations for 2, 4 and 8 participating devices, payloads
+//! 2 KB to 32 MB.
+
+use dcm_bench::{banner, compare};
+use dcm_core::metrics::Heatmap;
+use dcm_core::DeviceSpec;
+use dcm_net::{Collective, CollectiveModel};
+
+const SIZES_KB: [u64; 8] = [2, 8, 32, 128, 512, 2048, 8192, 32768];
+
+fn heatmap(model: &CollectiveModel, coll: Collective) -> Heatmap {
+    let mut h = Heatmap::new(
+        format!("{coll} bus-bandwidth utilization, {}", model.name()),
+        "devices",
+        "payload KB",
+        SIZES_KB.iter().map(|s| s.to_string()).collect(),
+    );
+    for devices in [2usize, 4, 8] {
+        h.push_row(
+            devices.to_string(),
+            SIZES_KB
+                .iter()
+                .map(|&kb| model.bus_utilization(coll, kb << 10, devices))
+                .collect(),
+        );
+    }
+    h
+}
+
+fn main() {
+    banner(
+        "Figure 10: collective-communication bus bandwidth utilization",
+        "Gaudi-2 leads 5 of 6 collectives at 8 devices; near-linear decline with fewer devices (P2P); A100 stable (NVSwitch)",
+    );
+    let gaudi = CollectiveModel::new(&DeviceSpec::gaudi2());
+    let a100 = CollectiveModel::new(&DeviceSpec::a100());
+    for coll in Collective::ALL {
+        print!("{}", heatmap(&gaudi, coll).render(3));
+        print!("{}", heatmap(&a100, coll).render(3));
+        println!();
+    }
+
+    let at_32mb = |m: &CollectiveModel, c: Collective, n: usize| m.bus_utilization(c, 32 << 20, n);
+    let gaudi_wins = Collective::ALL
+        .iter()
+        .filter(|&&c| at_32mb(&gaudi, c, 8) > at_32mb(&a100, c, 8))
+        .count();
+    compare("collectives where Gaudi-2 leads at 8 devices", 5.0, gaudi_wins as f64);
+    compare(
+        "Gaudi-2 AllReduce util ratio 2-dev/8-dev (P2P ~ 1/7)",
+        1.0 / 7.0,
+        at_32mb(&gaudi, Collective::AllReduce, 2) / at_32mb(&gaudi, Collective::AllReduce, 8),
+    );
+    compare(
+        "A100 AllReduce util ratio 2-dev/8-dev (switch ~ 1.0)",
+        1.0,
+        at_32mb(&a100, Collective::AllReduce, 2) / at_32mb(&a100, Collective::AllReduce, 8),
+    );
+}

@@ -1,0 +1,142 @@
+//! Regenerate the headline heatmaps and export them as CSV under
+//! `results/`, for plotting outside the terminal.
+//!
+//! ```text
+//! cargo run --release -p dcm-bench --bin report
+//! ```
+
+use dcm_bench::{LLM_BATCHES, OUTPUT_LENS, RECSYS_BATCHES, VECTOR_SIZES};
+use dcm_compiler::Device;
+use dcm_core::metrics::Heatmap;
+use dcm_embedding::{BatchedTableOp, EmbeddingConfig, EmbeddingOp};
+use dcm_mem::GatherScatterEngine;
+use dcm_vllm::attention::{PagedAttention, PagedBackend};
+use dcm_workloads::dlrm::{DlrmConfig, DlrmServer};
+use dcm_workloads::llama::{LlamaConfig, LlamaServer};
+use std::fs;
+use std::path::Path;
+
+fn write_csv(dir: &Path, name: &str, h: &Heatmap) {
+    let path = dir.join(format!("{name}.csv"));
+    fs::write(&path, h.to_csv()).expect("results/ is writable");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("can create results/");
+    let gaudi = Device::gaudi2();
+    let a100 = Device::a100();
+
+    // Figure 9: gather utilization per device.
+    for device in [&gaudi, &a100] {
+        let engine = GatherScatterEngine::new(device.spec());
+        let mut h = Heatmap::new(
+            format!("fig9 gather util {}", device.name()),
+            "vector_bytes",
+            "count",
+            vec!["4194304".into()],
+        );
+        for &vb in &VECTOR_SIZES {
+            h.push_row(vb.to_string(), vec![engine.gather_utilization(4 << 20, vb)]);
+        }
+        write_csv(dir, &format!("fig09_gather_{}", device.name().to_lowercase()), &h);
+    }
+
+    // Figure 11: RM2 speedup heatmap.
+    let mut rm2 = Heatmap::new(
+        "fig11 RM2 Gaudi-2 speedup",
+        "vector_bytes",
+        "batch",
+        RECSYS_BATCHES.iter().map(|b| b.to_string()).collect(),
+    );
+    for &vb in &VECTOR_SIZES {
+        let server = DlrmServer::new(DlrmConfig::rm2(vb));
+        rm2.push_row(
+            vb.to_string(),
+            RECSYS_BATCHES
+                .iter()
+                .map(|&b| {
+                    let g = server.serve(&gaudi, &BatchedTableOp::new(gaudi.spec()), b);
+                    let a = server.serve(&a100, &BatchedTableOp::new(a100.spec()), b);
+                    a.time_s() / g.time_s()
+                })
+                .collect(),
+        );
+    }
+    write_csv(dir, "fig11_rm2_speedup", &rm2);
+
+    // Figure 12: 8B single-device speedup heatmap.
+    let server = LlamaServer::new(LlamaConfig::llama31_8b(), 1);
+    let mut llm = Heatmap::new(
+        "fig12 8B speedup",
+        "batch",
+        "output_len",
+        OUTPUT_LENS.iter().map(|o| o.to_string()).collect(),
+    );
+    for &batch in &LLM_BATCHES {
+        llm.push_row(
+            batch.to_string(),
+            OUTPUT_LENS
+                .iter()
+                .map(|&out| {
+                    let g = server.serve(&gaudi, batch, 100, out);
+                    let a = server.serve(&a100, batch, 100, out);
+                    a.total_time_s() / g.total_time_s()
+                })
+                .collect(),
+        );
+    }
+    write_csv(dir, "fig12_llama8b_speedup", &llm);
+
+    // Figure 15: BatchedTable utilization heatmaps.
+    for device in [&gaudi, &a100] {
+        let op = BatchedTableOp::new(device.spec());
+        let batches = [8usize, 32, 128, 512, 2048, 4096];
+        let mut h = Heatmap::new(
+            format!("fig15 batched util {}", device.name()),
+            "vector_bytes",
+            "batch",
+            batches.iter().map(|b| b.to_string()).collect(),
+        );
+        for &vb in &VECTOR_SIZES {
+            let cfg = EmbeddingConfig::rm2_like(vb);
+            h.push_row(
+                vb.to_string(),
+                batches.iter().map(|&b| op.utilization(&cfg, b)).collect(),
+            );
+        }
+        write_csv(
+            dir,
+            &format!("fig15_batched_{}", device.name().to_lowercase()),
+            &h,
+        );
+    }
+
+    // Figure 17(a): vLLM opt/base speedup.
+    let model = LlamaConfig::llama31_8b();
+    let base = PagedAttention::new(&gaudi, PagedBackend::GaudiBase, &model, 1);
+    let opt = PagedAttention::new(&gaudi, PagedBackend::GaudiOpt, &model, 1);
+    let batches = [8usize, 16, 32, 64];
+    let mut vllm = Heatmap::new(
+        "fig17a vLLMopt speedup",
+        "seq_len",
+        "batch",
+        batches.iter().map(|b| b.to_string()).collect(),
+    );
+    for &len in &[512usize, 1024, 2048, 4096] {
+        vllm.push_row(
+            len.to_string(),
+            batches
+                .iter()
+                .map(|&b| {
+                    let lens = vec![len; b];
+                    base.decode_cost(&lens, 0.0).time() / opt.decode_cost(&lens, 0.0).time()
+                })
+                .collect(),
+        );
+    }
+    write_csv(dir, "fig17a_vllm_speedup", &vllm);
+
+    println!("\nall CSVs written to results/");
+}

@@ -1,0 +1,75 @@
+//! Regenerates Table 1: the NVIDIA A100 vs. Intel Gaudi-2 specification
+//! comparison.
+
+use dcm_bench::banner;
+use dcm_core::metrics::{format_si, Table};
+use dcm_core::{DType, DeviceSpec};
+
+fn main() {
+    banner(
+        "Table 1: Comparison of NVIDIA A100 and Intel Gaudi-2",
+        "matrix 1.4x, vector 0.3x, HBM capacity/bandwidth/SRAM 1.2x, comm 1.0x, power 1.5x",
+    );
+    let a = DeviceSpec::a100();
+    let g = DeviceSpec::gaudi2();
+    let mut t = Table::new("Table 1", &["metric", "A100", "Gaudi-2", "ratio"]);
+    let row = |t: &mut Table, name: &str, av: f64, gv: f64, unit: &str| {
+        t.push(&[
+            name.to_owned(),
+            format_si(av, unit),
+            format_si(gv, unit),
+            format!("{:.1}x", gv / av),
+        ]);
+    };
+    row(
+        &mut t,
+        "TFLOPS (BF16) matrix",
+        a.matrix_peak_flops(DType::Bf16),
+        g.matrix_peak_flops(DType::Bf16),
+        "FLOPS",
+    );
+    row(
+        &mut t,
+        "TFLOPS (BF16) vector",
+        a.vector_peak_flops(DType::Bf16),
+        g.vector_peak_flops(DType::Bf16),
+        "FLOPS",
+    );
+    row(
+        &mut t,
+        "HBM capacity",
+        a.memory.hbm_capacity_bytes as f64,
+        g.memory.hbm_capacity_bytes as f64,
+        "B",
+    );
+    row(&mut t, "HBM bandwidth", a.hbm_bandwidth(), g.hbm_bandwidth(), "B/s");
+    row(
+        &mut t,
+        "SRAM capacity",
+        a.memory.sram_bytes as f64,
+        g.memory.sram_bytes as f64,
+        "B",
+    );
+    row(
+        &mut t,
+        "Communication (uni, 8 dev)",
+        a.fabric.full_bandwidth(8),
+        g.fabric.full_bandwidth(8),
+        "B/s",
+    );
+    row(&mut t, "Power (TDP)", a.power.tdp_watts, g.power.tdp_watts, "W");
+    t.push(&[
+        "Min access granularity".to_owned(),
+        format!("{} B", a.memory.min_access_bytes),
+        format!("{} B", g.memory.min_access_bytes),
+        format!(
+            "{:.1}x",
+            g.memory.min_access_bytes as f64 / a.memory.min_access_bytes as f64
+        ),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "\naggregate compute ratio (abstract: ~1.26x): {:.2}x",
+        g.total_peak_flops(DType::Bf16) / a.total_peak_flops(DType::Bf16)
+    );
+}

@@ -1,0 +1,54 @@
+//! Regenerates Table 3: the evaluated end-to-end AI workload
+//! configurations (RM1/RM2 DLRM variants and Llama-3.1-8B/70B).
+
+use dcm_bench::banner;
+use dcm_core::metrics::Table;
+use dcm_workloads::dlrm::DlrmConfig;
+use dcm_workloads::llama::LlamaConfig;
+
+fn mlp(widths: &[usize]) -> String {
+    widths
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+fn main() {
+    banner("Table 3: evaluated end-to-end AI workloads", "RM1/RM2 + Llama-3.1 8B/70B");
+    let mut rec = Table::new(
+        "RecSys (DLRM-DCNv2)",
+        &["model", "tables", "rows", "pooling", "bottom MLP", "top MLP", "low-rank", "cross layers"],
+    );
+    for cfg in [DlrmConfig::rm1(256), DlrmConfig::rm2(256)] {
+        rec.push(&[
+            cfg.name.clone(),
+            cfg.embedding.tables.to_string(),
+            cfg.embedding.rows_per_table.to_string(),
+            cfg.embedding.pooling.to_string(),
+            mlp(&cfg.bottom_mlp),
+            mlp(&cfg.top_mlp),
+            cfg.cross_rank.to_string(),
+            cfg.cross_layers.to_string(),
+        ]);
+    }
+    print!("{}", rec.render());
+
+    let mut llm = Table::new(
+        "LLM (Llama-3.1)",
+        &["model", "layers", "q heads", "kv heads", "hidden", "intermediate", "vocab", "params"],
+    );
+    for cfg in [LlamaConfig::llama31_8b(), LlamaConfig::llama31_70b()] {
+        llm.push(&[
+            cfg.name.clone(),
+            cfg.layers.to_string(),
+            cfg.q_heads.to_string(),
+            cfg.kv_heads.to_string(),
+            cfg.hidden.to_string(),
+            cfg.intermediate.to_string(),
+            cfg.vocab.to_string(),
+            format!("{:.1}B", cfg.param_count() / 1e9),
+        ]);
+    }
+    print!("{}", llm.render());
+}

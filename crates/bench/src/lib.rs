@@ -1,0 +1,79 @@
+//! Shared helpers for the figure/table regeneration binaries.
+//!
+//! Every measurement artifact of the paper has a matching binary in
+//! `src/bin/`; run them with `cargo run -p dcm-bench --bin <name>`:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1_specs` | Table 1 (device comparison) |
+//! | `fig04_roofline` | Figure 4 (GEMM roofline) |
+//! | `fig05_gemm_util` | Figure 5 (GEMM compute utilization) |
+//! | `fig07_mme_config` | Figure 7 (MME geometry + ablation) |
+//! | `fig08_stream` | Figure 8 (STREAM microbenchmarks) |
+//! | `fig09_gather_scatter` | Figure 9 (gather/scatter bandwidth) |
+//! | `fig10_collectives` | Figure 10 (collective communication) |
+//! | `table3_models` | Table 3 (model configurations) |
+//! | `fig11_recsys` | Figure 11 (RecSys speedup + energy) |
+//! | `fig12_llm_perf` | Figure 12 (LLM speedup + latency split) |
+//! | `fig13_llm_energy` | Figure 13 (LLM energy efficiency) |
+//! | `fig15_embedding` | Figure 15 (embedding-lookup bandwidth) |
+//! | `fig17_vllm` | Figure 17 (PagedAttention + serving) |
+//! | `takeaways` | Key takeaways #1–#7 (directional checks) |
+
+use dcm_core::metrics::Table;
+
+/// Standard embedding-vector-size sweep in bytes (Figures 9, 11, 15).
+pub const VECTOR_SIZES: [usize; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
+
+/// Standard batch-size sweep for RecSys figures.
+pub const RECSYS_BATCHES: [usize; 5] = [256, 512, 1024, 2048, 4096];
+
+/// Standard batch-size sweep for LLM figures (Figure 12).
+pub const LLM_BATCHES: [usize; 4] = [8, 16, 32, 64];
+
+/// Standard output-length sweep for LLM figures (Figure 12).
+pub const OUTPUT_LENS: [usize; 5] = [25, 50, 100, 200, 400];
+
+/// Print a banner identifying the regenerated artifact.
+pub fn banner(artifact: &str, paper_claim: &str) {
+    println!("==============================================================");
+    println!("{artifact}");
+    println!("paper: {paper_claim}");
+    println!("==============================================================");
+}
+
+/// Print a compact paper-vs-measured comparison line.
+pub fn compare(metric: &str, paper: f64, measured: f64) {
+    let dev = if paper != 0.0 {
+        format!("{:+.0}%", (measured / paper - 1.0) * 100.0)
+    } else {
+        "n/a".to_owned()
+    };
+    println!("  {metric:<52} paper {paper:>8.3}  measured {measured:>8.3}  ({dev})");
+}
+
+/// Build a two-column summary table of paper-vs-measured rows.
+#[must_use]
+pub fn summary_table(title: &str) -> Table {
+    Table::new(title, &["metric", "paper", "measured"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_sorted() {
+        assert!(VECTOR_SIZES.windows(2).all(|w| w[0] < w[1]));
+        assert!(RECSYS_BATCHES.windows(2).all(|w| w[0] < w[1]));
+        assert!(LLM_BATCHES.windows(2).all(|w| w[0] < w[1]));
+        assert!(OUTPUT_LENS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn summary_table_has_three_columns() {
+        let mut t = summary_table("x");
+        t.push(&["a", "1", "2"]);
+        assert!(t.render().contains("measured"));
+    }
+}

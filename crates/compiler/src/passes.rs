@@ -1,0 +1,255 @@
+//! Graph-compiler passes: element-wise fusion and MME→TPC pipelining.
+//!
+//! The pass pipeline runs over the linear op sequence:
+//!
+//! 1. **Fusion** — maximal runs of consecutive element-wise ops collapse
+//!    into one fused vector kernel (the MLIR fuser of §2.2); the
+//!    intermediate tensors never touch HBM.
+//! 2. **Pipelining** — a matrix op immediately followed by a vector op is
+//!    sliced into `pipeline_slices` sub-operations executed as a two-stage
+//!    pipeline through SRAM (§2.2). With one slice this degenerates to
+//!    serial execution — the schedule `vLLM_base` effectively gets when its
+//!    data layout defeats the pass (§4.2).
+
+use crate::ir::{Graph, Op};
+use serde::{Deserialize, Serialize};
+
+/// Knobs describing what the (black-box) graph compiler does to a graph.
+/// Programmers cannot set these on real hardware; the vLLM case study
+/// changes them only indirectly, through data layout.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompileOptions {
+    /// Fuse runs of consecutive element-wise ops.
+    pub fuse_elementwise: bool,
+    /// Sub-operation slices for MME→TPC pipelining; `1` disables overlap.
+    pub pipeline_slices: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            fuse_elementwise: true,
+            pipeline_slices: 16,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// The schedule a layout-hostile graph gets: no fusion, no overlap.
+    #[must_use]
+    pub fn unoptimized() -> Self {
+        CompileOptions {
+            fuse_elementwise: false,
+            pipeline_slices: 1,
+        }
+    }
+}
+
+/// One scheduled unit after compilation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Scheduled {
+    /// A single operator executed as-is.
+    Single(Op),
+    /// A fused chain of element-wise ops: inputs of the first, outputs of
+    /// the last, all compute chained in one kernel.
+    FusedElementwise(Vec<Op>),
+    /// A matrix producer overlapped with a vector consumer in `slices`
+    /// sub-operations.
+    Pipelined {
+        /// The matrix-engine producer.
+        producer: Op,
+        /// The vector-engine consumer.
+        consumer: Box<Scheduled>,
+        /// Number of sub-operation slices (1 = serial).
+        slices: usize,
+    },
+}
+
+/// A compiled graph: the schedule the device executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledGraph {
+    name: String,
+    schedule: Vec<Scheduled>,
+}
+
+impl CompiledGraph {
+    /// Schedule units in execution order.
+    #[must_use]
+    pub fn schedule(&self) -> &[Scheduled] {
+        &self.schedule
+    }
+
+    /// Graph name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Run the pass pipeline.
+#[must_use]
+pub fn compile(graph: &Graph, opts: &CompileOptions) -> CompiledGraph {
+    let fused = fuse_elementwise(graph.ops(), opts.fuse_elementwise);
+    let schedule = pipeline(fused, opts.pipeline_slices.max(1));
+    CompiledGraph {
+        name: graph.name().to_owned(),
+        schedule,
+    }
+}
+
+fn fuse_elementwise(ops: &[Op], enabled: bool) -> Vec<Scheduled> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        if enabled && ops[i].is_elementwise() {
+            let mut run = vec![ops[i].clone()];
+            let mut j = i + 1;
+            while j < ops.len() && ops[j].is_elementwise() {
+                run.push(ops[j].clone());
+                j += 1;
+            }
+            if run.len() > 1 {
+                out.push(Scheduled::FusedElementwise(run));
+            } else {
+                out.push(Scheduled::Single(ops[i].clone()));
+            }
+            i = j;
+        } else {
+            out.push(Scheduled::Single(ops[i].clone()));
+            i += 1;
+        }
+    }
+    out
+}
+
+fn pipeline(units: Vec<Scheduled>, slices: usize) -> Vec<Scheduled> {
+    if slices <= 1 {
+        return units;
+    }
+    let mut out: Vec<Scheduled> = Vec::new();
+    let mut iter = units.into_iter().peekable();
+    while let Some(unit) = iter.next() {
+        let is_matrix_single = matches!(&unit, Scheduled::Single(op) if op.is_matrix());
+        if is_matrix_single {
+            let next_is_vector = matches!(
+                iter.peek(),
+                Some(Scheduled::Single(op)) if op.is_vector()
+            ) || matches!(iter.peek(), Some(Scheduled::FusedElementwise(_)));
+            if next_is_vector {
+                let producer = match unit {
+                    Scheduled::Single(op) => op,
+                    _ => unreachable!("checked above"),
+                };
+                let consumer = iter.next().expect("peeked");
+                out.push(Scheduled::Pipelined {
+                    producer,
+                    consumer: Box::new(consumer),
+                    slices,
+                });
+                continue;
+            }
+        }
+        out.push(unit);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcm_core::DType;
+    use dcm_mme::GemmShape;
+
+    fn gemm() -> Op {
+        Op::gemm(GemmShape::square(512), DType::Bf16)
+    }
+
+    #[test]
+    fn lone_elementwise_stays_single() {
+        let mut g = Graph::new("t");
+        g.push(Op::relu(100, DType::Bf16));
+        let c = compile(&g, &CompileOptions::default());
+        assert!(matches!(c.schedule(), [Scheduled::Single(_)]));
+    }
+
+    #[test]
+    fn consecutive_elementwise_fuse() {
+        let mut g = Graph::new("t");
+        g.push(Op::relu(100, DType::Bf16));
+        g.push(Op::add(100, DType::Bf16));
+        g.push(Op::relu(100, DType::Bf16));
+        let c = compile(&g, &CompileOptions::default());
+        assert_eq!(c.schedule().len(), 1);
+        assert!(matches!(&c.schedule()[0], Scheduled::FusedElementwise(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn gemm_then_activation_pipelines() {
+        let mut g = Graph::new("t");
+        g.push(gemm());
+        g.push(Op::relu(512 * 512, DType::Bf16));
+        let c = compile(&g, &CompileOptions::default());
+        assert_eq!(c.schedule().len(), 1);
+        match &c.schedule()[0] {
+            Scheduled::Pipelined {
+                producer, slices, ..
+            } => {
+                assert!(producer.is_matrix());
+                assert_eq!(*slices, 16);
+            }
+            other => panic!("expected pipelined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gemm_then_fused_chain_pipelines_as_a_unit() {
+        let mut g = Graph::new("t");
+        g.push(gemm());
+        g.push(Op::relu(512 * 512, DType::Bf16));
+        g.push(Op::add(512 * 512, DType::Bf16));
+        let c = compile(&g, &CompileOptions::default());
+        assert_eq!(c.schedule().len(), 1);
+        match &c.schedule()[0] {
+            Scheduled::Pipelined { consumer, .. } => {
+                assert!(matches!(**consumer, Scheduled::FusedElementwise(_)));
+            }
+            other => panic!("expected pipelined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unoptimized_mode_disables_both_passes() {
+        let mut g = Graph::new("t");
+        g.push(gemm());
+        g.push(Op::relu(512 * 512, DType::Bf16));
+        g.push(Op::add(512 * 512, DType::Bf16));
+        let c = compile(&g, &CompileOptions::unoptimized());
+        assert_eq!(c.schedule().len(), 3);
+        assert!(c
+            .schedule()
+            .iter()
+            .all(|s| matches!(s, Scheduled::Single(_))));
+    }
+
+    #[test]
+    fn back_to_back_gemms_do_not_pipeline() {
+        let mut g = Graph::new("t");
+        g.push(gemm());
+        g.push(gemm());
+        let c = compile(&g, &CompileOptions::default());
+        assert_eq!(c.schedule().len(), 2);
+    }
+
+    #[test]
+    fn gather_breaks_fusion_runs() {
+        let mut g = Graph::new("t");
+        g.push(Op::relu(64, DType::Bf16));
+        g.push(Op::Gather {
+            count: 10,
+            vector_bytes: 256,
+        });
+        g.push(Op::relu(64, DType::Bf16));
+        let c = compile(&g, &CompileOptions::default());
+        assert_eq!(c.schedule().len(), 3);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types shared across the `dcm` crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// Convenience result alias for `dcm` operations.
+pub type Result<T> = std::result::Result<T, DcmError>;
+
+/// Errors produced by the simulation crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DcmError {
+    /// Tensor shapes are incompatible with the requested operation.
+    ShapeMismatch(String),
+    /// A configuration value is out of the supported range.
+    InvalidConfig(String),
+    /// The requested feature is not supported by the simulated device
+    /// (e.g. programming the MME from a TPC kernel, §4.2).
+    Unsupported(String),
+    /// A simulated resource was exhausted (HBM capacity, KV-cache blocks).
+    ResourceExhausted(String),
+    /// An index was outside the valid range.
+    IndexOutOfBounds(String),
+}
+
+impl fmt::Display for DcmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DcmError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            DcmError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            DcmError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            DcmError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            DcmError::IndexOutOfBounds(m) => write!(f, "index out of bounds: {m}"),
+        }
+    }
+}
+
+impl Error for DcmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DcmError::ShapeMismatch("2x3 vs 4x2".to_owned());
+        assert_eq!(e.to_string(), "shape mismatch: 2x3 vs 4x2");
+        let e = DcmError::Unsupported("MME access from TPC kernel".to_owned());
+        assert!(e.to_string().starts_with("unsupported operation"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<DcmError>();
+    }
+}

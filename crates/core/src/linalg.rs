@@ -1,0 +1,216 @@
+//! Reference linear algebra over [`Tensor`], used as the functional ground
+//! truth for operator implementations (naive but obviously correct).
+
+use crate::error::{DcmError, Result};
+use crate::tensor::Tensor;
+
+/// Naive row-major matrix multiply: `(m x k) * (k x n) -> (m x n)`.
+///
+/// # Errors
+/// Returns [`DcmError::ShapeMismatch`] if operands are not rank 2 or the
+/// inner dimensions disagree.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(DcmError::ShapeMismatch(
+            "matmul requires rank-2 operands".to_owned(),
+        ));
+    }
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    if k != k2 {
+        return Err(DcmError::ShapeMismatch(format!(
+            "matmul inner dims disagree: {k} vs {k2}"
+        )));
+    }
+    let mut out = Tensor::zeros([m, n], a.dtype());
+    for i in 0..m {
+        let arow = a.row(i);
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = b.row(p);
+            let orow = out.row_mut(i);
+            for (j, &bv) in brow.iter().enumerate() {
+                orow[j] += av * bv;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Element-wise sum of two same-shape tensors.
+///
+/// # Errors
+/// Returns [`DcmError::ShapeMismatch`] if shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.shape() != b.shape() {
+        return Err(DcmError::ShapeMismatch(format!(
+            "add shapes differ: {} vs {}",
+            a.shape(),
+            b.shape()
+        )));
+    }
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(x, y)| x + y)
+        .collect::<Vec<_>>();
+    Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data)
+}
+
+/// Scale every element by `s`.
+#[must_use]
+pub fn scale(a: &Tensor, s: f32) -> Tensor {
+    let data = a.data().iter().map(|x| x * s).collect::<Vec<_>>();
+    Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data)
+        .expect("same shape always fits")
+}
+
+/// Numerically stable softmax applied independently to each row of a rank-2
+/// tensor.
+///
+/// # Panics
+/// Panics if the tensor is not rank 2.
+#[must_use]
+pub fn softmax_rows(a: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "softmax_rows requires rank 2");
+    let (m, n) = (a.shape().dim(0), a.shape().dim(1));
+    let mut out = Tensor::zeros([m, n], a.dtype());
+    for i in 0..m {
+        let row = a.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let orow = out.row_mut(i);
+        for (j, e) in exps.iter().enumerate() {
+            orow[j] = e / sum;
+        }
+    }
+    out
+}
+
+/// Transpose a rank-2 tensor.
+///
+/// # Panics
+/// Panics if the tensor is not rank 2.
+#[must_use]
+pub fn transpose(a: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "transpose requires rank 2");
+    let (m, n) = (a.shape().dim(0), a.shape().dim(1));
+    let mut out = Tensor::zeros([n, m], a.dtype());
+    for i in 0..m {
+        for j in 0..n {
+            out.row_mut(j)[i] = a.at(i, j);
+        }
+    }
+    out
+}
+
+/// ReLU applied element-wise.
+#[must_use]
+pub fn relu(a: &Tensor) -> Tensor {
+    let data = a.data().iter().map(|&x| x.max(0.0)).collect::<Vec<_>>();
+    Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data)
+        .expect("same shape always fits")
+}
+
+/// SiLU (sigmoid-weighted linear unit), the Llama MLP activation.
+#[must_use]
+pub fn silu(a: &Tensor) -> Tensor {
+    let data = a
+        .data()
+        .iter()
+        .map(|&x| x / (1.0 + (-x).exp()))
+        .collect::<Vec<_>>();
+    Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data)
+        .expect("same shape always fits")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use crate::DType;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec([2, 2], DType::Fp32, vec![1., 2., 3., 4.]).unwrap();
+        let b = Tensor::from_vec([2, 2], DType::Fp32, vec![5., 6., 7., 8.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = rng::seeded(1);
+        let a = Tensor::random([4, 4], DType::Fp32, &mut rng);
+        let mut id = Tensor::zeros([4, 4], DType::Fp32);
+        for i in 0..4 {
+            id.row_mut(i)[i] = 1.0;
+        }
+        let c = matmul(&a, &id).unwrap();
+        assert!(a.max_abs_diff(&c).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros([2, 3], DType::Fp32);
+        let b = Tensor::zeros([4, 2], DType::Fp32);
+        assert!(matmul(&a, &b).is_err());
+        let v = Tensor::zeros([4], DType::Fp32);
+        assert!(matmul(&a, &v).is_err());
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = Tensor::ones([2, 2], DType::Fp32);
+        let b = Tensor::ones([2, 2], DType::Fp32);
+        let s = add(&a, &b).unwrap();
+        assert!(s.data().iter().all(|&x| x == 2.0));
+        let t = scale(&s, 0.5);
+        assert!(t.data().iter().all(|&x| x == 1.0));
+        let c = Tensor::zeros([3, 2], DType::Fp32);
+        assert!(add(&a, &c).is_err());
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = rng::seeded(2);
+        let a = Tensor::random([5, 9], DType::Fp32, &mut rng);
+        let s = softmax_rows(&a);
+        for i in 0..5 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(s.row(i).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let a = Tensor::from_vec([1, 3], DType::Fp32, vec![1e4, 1e4, 1e4]).unwrap();
+        let s = softmax_rows(&a);
+        for &x in s.row(0) {
+            assert!((x - 1.0 / 3.0).abs() < 1e-6);
+            assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = rng::seeded(3);
+        let a = Tensor::random([3, 7], DType::Fp32, &mut rng);
+        let tt = transpose(&transpose(&a));
+        assert!(a.max_abs_diff(&tt).unwrap() < 1e-9);
+        assert_eq!(transpose(&a).shape().dims(), &[7, 3]);
+    }
+
+    #[test]
+    fn relu_and_silu() {
+        let a = Tensor::from_vec([1, 4], DType::Fp32, vec![-2., -0.5, 0.0, 3.0]).unwrap();
+        let r = relu(&a);
+        assert_eq!(r.data(), &[0., 0., 0., 3.]);
+        let s = silu(&a);
+        assert!(s.data()[0] < 0.0 && s.data()[0] > -0.3); // silu(-2) ~ -0.238
+        assert_eq!(s.data()[2], 0.0);
+        assert!((s.data()[3] - 3.0 / (1.0 + (-3.0f32).exp())).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,446 @@
+//! Statistics and plain-text rendering shared by the figure-regeneration
+//! binaries.
+//!
+//! The paper presents its results as heatmaps (Figures 5, 7, 11–13, 17a/c),
+//! line series (Figures 4, 8–10, 15, 17d/e) and tables. [`Heatmap`] and
+//! [`Table`] render the same data as aligned ASCII so `cargo run -p
+//! dcm-bench --bin figXX_*` reproduces each artifact on stdout.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean. Returns 0 for an empty slice.
+///
+/// # Panics
+/// Panics if any value is non-positive.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Maximum value. Returns 0 for an empty slice.
+#[must_use]
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+}
+
+/// Minimum value. Returns +inf mapped to 0 for an empty slice.
+#[must_use]
+pub fn min(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    if m.is_finite() {
+        m
+    } else {
+        0.0
+    }
+}
+
+/// Percentile (0..=100) by nearest-rank on a copy of the data.
+/// Returns 0 for an empty slice.
+#[must_use]
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+/// Format a value with an SI suffix, e.g. `format_si(2.45e12, "B/s")` =>
+/// `"2.45 TB/s"`.
+#[must_use]
+pub fn format_si(value: f64, unit: &str) -> String {
+    let (scaled, prefix) = si_scale(value);
+    format!("{scaled:.2} {prefix}{unit}")
+}
+
+/// Quote a CSV field if it contains separators or quotes.
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+fn si_scale(value: f64) -> (f64, &'static str) {
+    let abs = value.abs();
+    if abs >= 1e12 {
+        (value / 1e12, "T")
+    } else if abs >= 1e9 {
+        (value / 1e9, "G")
+    } else if abs >= 1e6 {
+        (value / 1e6, "M")
+    } else if abs >= 1e3 {
+        (value / 1e3, "k")
+    } else {
+        (value, "")
+    }
+}
+
+/// A labeled 2-D grid of values — the building block for every heatmap
+/// figure. Rows and columns carry axis labels (e.g. batch size × output
+/// length).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    title: String,
+    row_axis: String,
+    col_axis: String,
+    row_labels: Vec<String>,
+    col_labels: Vec<String>,
+    values: Vec<Vec<f64>>,
+}
+
+impl Heatmap {
+    /// Create an empty heatmap with the given axes. Rows are appended with
+    /// [`Heatmap::push_row`].
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        row_axis: impl Into<String>,
+        col_axis: impl Into<String>,
+        col_labels: Vec<String>,
+    ) -> Self {
+        Heatmap {
+            title: title.into(),
+            row_axis: row_axis.into(),
+            col_axis: col_axis.into(),
+            row_labels: Vec::new(),
+            col_labels,
+            values: Vec::new(),
+        }
+    }
+
+    /// Append a row of values.
+    ///
+    /// # Panics
+    /// Panics if `values.len()` differs from the number of column labels.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.col_labels.len(),
+            "row width must match column labels"
+        );
+        self.row_labels.push(label.into());
+        self.values.push(values);
+    }
+
+    /// All cell values, flattened row-major.
+    #[must_use]
+    pub fn flat_values(&self) -> Vec<f64> {
+        self.values.iter().flatten().copied().collect()
+    }
+
+    /// Cell value at (row, col).
+    #[must_use]
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        self.values[row][col]
+    }
+
+    /// Number of (rows, cols).
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.values.len(), self.col_labels.len())
+    }
+
+    /// Arithmetic mean over all cells.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        mean(&self.flat_values())
+    }
+
+    /// Maximum over all cells.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        max(&self.flat_values())
+    }
+
+    /// Minimum over all cells.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        min(&self.flat_values())
+    }
+
+    /// Export as CSV (row label column first) for external plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{}", csv_escape(&self.row_axis));
+        for c in &self.col_labels {
+            let _ = write!(out, ",{}", csv_escape(c));
+        }
+        let _ = writeln!(out);
+        for (label, row) in self.row_labels.iter().zip(&self.values) {
+            let _ = write!(out, "{}", csv_escape(label));
+            for v in row {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Render as aligned ASCII with `prec` decimal places.
+    #[must_use]
+    pub fn render(&self, prec: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "# rows: {}, cols: {}", self.row_axis, self.col_axis);
+        let cell = |v: f64| format!("{v:.prec$}");
+        let mut width = self
+            .col_labels
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        for row in &self.values {
+            for &v in row {
+                width = width.max(cell(v).len());
+            }
+        }
+        let label_w = self
+            .row_labels
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(0)
+            .max(self.row_axis.len());
+        let _ = write!(out, "{:label_w$}", self.row_axis);
+        for c in &self.col_labels {
+            let _ = write!(out, " {c:>width$}");
+        }
+        let _ = writeln!(out);
+        for (label, row) in self.row_labels.iter().zip(&self.values) {
+            let _ = write!(out, "{label:label_w$}");
+            for &v in row {
+                let _ = write!(out, " {:>width$}", cell(v));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// A generic column-aligned text table (for Table 1 / Table 3 style output
+/// and line-series figures rendered as columns).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of pre-formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count must match headers");
+        self.rows.push(cells);
+    }
+
+    /// Append a row from displayable values.
+    pub fn push<T: ToString>(&mut self, cells: &[T]) {
+        self.push_row(cells.iter().map(ToString::to_string).collect());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Export as CSV for external plotting.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers
+                .iter()
+                .map(|h| csv_escape(h))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Render as aligned ASCII.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(out, "{h:>w$}  ");
+        }
+        let _ = writeln!(out);
+        for w in widths.iter() {
+            let _ = write!(out, "{}  ", "-".repeat(*w));
+        }
+        let _ = writeln!(out);
+        for row in &self.rows {
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(out, "{c:>w$}  ");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn min_max_percentile() {
+        let xs = [3.0, 1.0, 2.0, 5.0, 4.0];
+        assert_eq!(max(&xs), 5.0);
+        assert_eq!(min(&xs), 1.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(format_si(2.45e12, "B/s"), "2.45 TB/s");
+        assert_eq!(format_si(11.0e12, "FLOPS"), "11.00 TFLOPS");
+        assert_eq!(format_si(530.0e9, "FLOPS"), "530.00 GFLOPS");
+        assert_eq!(format_si(42.0, "x"), "42.00 x");
+    }
+
+    #[test]
+    fn heatmap_stats_and_render() {
+        let mut h = Heatmap::new(
+            "Fig X",
+            "batch",
+            "len",
+            vec!["25".into(), "100".into()],
+        );
+        h.push_row("1", vec![1.0, 2.0]);
+        h.push_row("64", vec![3.0, 4.0]);
+        assert_eq!(h.shape(), (2, 2));
+        assert_eq!(h.at(1, 0), 3.0);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(h.max(), 4.0);
+        assert_eq!(h.min(), 1.0);
+        let text = h.render(2);
+        assert!(text.contains("Fig X"));
+        assert!(text.contains("3.00"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn heatmap_rejects_ragged_rows() {
+        let mut h = Heatmap::new("t", "r", "c", vec!["a".into()]);
+        h.push_row("x", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn table_render_is_aligned() {
+        let mut t = Table::new("Table 1", &["metric", "A100", "Gaudi-2"]);
+        t.push(&["TFLOPS", "312", "432"]);
+        t.push(&["HBM", "2.0", "2.45"]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("Table 1"));
+        // All rows render to the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_exports() {
+        let mut h = Heatmap::new("t", "r", "c", vec!["x".into(), "y,z".into()]);
+        h.push_row("row1", vec![1.5, 2.0]);
+        let csv = h.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("r,x,\"y,z\""));
+        assert!(csv.contains("row1,1.5,2"));
+
+        let mut t = Table::new("t", &["metric", "value"]);
+        t.push(&["a\"b", "1"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a\"\"b\""));
+        assert!(csv.starts_with("metric,value"));
+    }
+}

@@ -1,0 +1,365 @@
+//! The §4.1 embedding-lookup kernel written against the *actual* TPC-C
+//! style DSL of `dcm-tpc` — not just priced analytically, but executed
+//! instruction by instruction over real tensors, exactly as Figure 14(a)
+//! sketches: the index space spans (table, sample), the index loop is
+//! unrolled by 4 for memory-level parallelism, gathered vectors are staged
+//! in TPC local memory, and the pooled sum is accumulated with `v_add`.
+//!
+//! This module exists to demonstrate (and regression-test) that the kernel
+//! API is expressive enough for the paper's case study; production-path
+//! pricing uses the analytic operators in [`crate::ops`].
+
+use crate::config::{EmbeddingConfig, LookupBatch};
+use dcm_core::cost::OpCost;
+use dcm_core::error::{DcmError, Result};
+use dcm_core::specs::DeviceSpec;
+use dcm_core::tensor::{Tensor, TensorDesc};
+use dcm_tpc::index_space::{IndexMember, IndexSpace};
+use dcm_tpc::program::{TpcContext, TpcExecutor, TpcProgram, VecReg};
+
+/// The unroll factor of the optimized kernel (Figure 14(a)).
+const UNROLL: usize = 4;
+
+/// SingleTable embedding-lookup TPC kernel.
+///
+/// Index space: `[tables, batch]`; one member pools the `pooling` vectors
+/// of one (table, sample) pair. Inputs: one flat index tensor (indices for
+/// all tables concatenated) followed by one tensor per table. Output 0 is
+/// the `[batch, tables * dim]` pooled embedding matrix.
+#[derive(Debug, Clone)]
+pub struct SingleTableTpcKernel {
+    cfg: EmbeddingConfig,
+    batch: usize,
+}
+
+impl SingleTableTpcKernel {
+    /// Create the kernel for one configuration and batch size.
+    #[must_use]
+    pub fn new(cfg: EmbeddingConfig, batch: usize) -> Self {
+        SingleTableTpcKernel { cfg, batch }
+    }
+}
+
+impl TpcProgram for SingleTableTpcKernel {
+    fn run(&self, ctx: &mut TpcContext<'_>, member: IndexMember) -> Result<()> {
+        let table = member.coord(0);
+        let sample = member.coord(1);
+        let dim = self.cfg.dim;
+        let pooling = self.cfg.pooling;
+        let per_table = self.batch * pooling;
+
+        // Stage the accumulator in local memory (Figure 14(a): "gathered
+        // embedding vectors are stored inside TPC's local memory").
+        ctx.vlm_alloc((UNROLL + 1) * dim * 4)?;
+        let mut acc = VecReg::zeros(dim);
+        // The index loop, unrolled by UNROLL: each iteration issues up to
+        // UNROLL independent index loads + row gathers before reducing.
+        let mut p = 0;
+        while p < pooling {
+            let chunk = UNROLL.min(pooling - p);
+            let mut gathered = Vec::with_capacity(chunk);
+            for u in 0..chunk {
+                let flat = table * per_table + sample * pooling + p + u;
+                // Indices travel in a tensor, as they do through PyTorch.
+                let idx_reg = ctx.ld_tnsr(0, flat, 1)?;
+                #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+                let row = idx_reg.data()[0] as usize;
+                gathered.push(ctx.ld_tnsr(1 + table, row * dim, dim)?);
+            }
+            for g in &gathered {
+                acc = ctx.v_add(&acc, g)?;
+            }
+            p += chunk;
+        }
+        ctx.st_tnsr(0, sample * (self.cfg.tables * dim) + table * dim, &acc)
+    }
+
+    fn unroll(&self) -> usize {
+        UNROLL
+    }
+
+    fn name(&self) -> &str {
+        "single_table_tpc"
+    }
+}
+
+/// Execute the kernel on `spec`'s TPC complex: returns the pooled
+/// embeddings and the DSL-derived cost.
+///
+/// # Errors
+/// Returns an error on malformed inputs, out-of-range indices, or VLM
+/// exhaustion (vectors wider than the 80 KB local memory allows).
+pub fn single_table_tpc_forward(
+    spec: &DeviceSpec,
+    tables: &[Tensor],
+    lookup: &LookupBatch,
+    cfg: &EmbeddingConfig,
+) -> Result<(Tensor, OpCost)> {
+    if tables.len() != cfg.tables {
+        return Err(DcmError::InvalidConfig(format!(
+            "{} tables provided, config says {}",
+            tables.len(),
+            cfg.tables
+        )));
+    }
+    lookup.validate_rows(tables)?;
+    // Flatten indices into one f32 tensor (lossless below 2^24 rows).
+    let mut flat = Vec::with_capacity(cfg.tables * lookup.batch * cfg.pooling);
+    for list in &lookup.indices {
+        #[allow(clippy::cast_precision_loss)]
+        flat.extend(list.iter().map(|&i| i as f32));
+    }
+    let idx_tensor = Tensor::from_vec([flat.len()], cfg.dtype, flat)?;
+    let mut inputs: Vec<&Tensor> = vec![&idx_tensor];
+    inputs.extend(tables.iter());
+
+    let exec = TpcExecutor::new(spec);
+    let space = IndexSpace::new(vec![cfg.tables, lookup.batch])?;
+    let kernel = SingleTableTpcKernel::new(cfg.clone(), lookup.batch);
+    let out_desc = TensorDesc::new([lookup.batch, cfg.tables * cfg.dim], cfg.dtype);
+    let mut result = exec.launch(&kernel, &space, &inputs, &[out_desc])?;
+    let out = result.outputs.pop().expect("one output declared");
+    Ok((out, result.cost))
+}
+
+/// BatchedTable embedding-lookup TPC kernel (Figure 14(b)).
+///
+/// All tables are fused into one launch: the kernel receives one *big*
+/// table tensor (all tables stacked) plus a `tableOffsets` tensor giving
+/// each table's starting row, and a single flat index tensor. The index
+/// space is still `[tables, batch]`, but one kernel launch covers the
+/// whole space — the difference that lifts memory-level parallelism at
+/// small batch sizes (Figure 15(a)).
+#[derive(Debug, Clone)]
+pub struct BatchedTableTpcKernel {
+    cfg: EmbeddingConfig,
+    batch: usize,
+}
+
+impl BatchedTableTpcKernel {
+    /// Create the kernel for one configuration and batch size.
+    #[must_use]
+    pub fn new(cfg: EmbeddingConfig, batch: usize) -> Self {
+        BatchedTableTpcKernel { cfg, batch }
+    }
+}
+
+impl TpcProgram for BatchedTableTpcKernel {
+    fn run(&self, ctx: &mut TpcContext<'_>, member: IndexMember) -> Result<()> {
+        let table = member.coord(0);
+        let sample = member.coord(1);
+        let dim = self.cfg.dim;
+        let pooling = self.cfg.pooling;
+        let per_table = self.batch * pooling;
+
+        // tableOffsets lookup (input 1): the base row of this table in the
+        // stacked big table.
+        let off_reg = ctx.ld_tnsr(1, table, 1)?;
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let base_row = off_reg.data()[0] as usize;
+
+        ctx.vlm_alloc((UNROLL + 1) * dim * 4)?;
+        let mut acc = VecReg::zeros(dim);
+        let mut p = 0;
+        while p < pooling {
+            let chunk = UNROLL.min(pooling - p);
+            let mut gathered = Vec::with_capacity(chunk);
+            for u in 0..chunk {
+                let flat = table * per_table + sample * pooling + p + u;
+                let idx_reg = ctx.ld_tnsr(0, flat, 1)?;
+                #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+                let row = base_row + idx_reg.data()[0] as usize;
+                // Input 2 is the stacked big table.
+                gathered.push(ctx.ld_tnsr(2, row * dim, dim)?);
+            }
+            for g in &gathered {
+                acc = ctx.v_add(&acc, g)?;
+            }
+            p += chunk;
+        }
+        ctx.st_tnsr(0, sample * (self.cfg.tables * dim) + table * dim, &acc)
+    }
+
+    fn unroll(&self) -> usize {
+        UNROLL
+    }
+
+    fn name(&self) -> &str {
+        "batched_table_tpc"
+    }
+}
+
+/// Execute the fused BatchedTable kernel: one launch over all tables.
+///
+/// # Errors
+/// Returns an error on malformed inputs, out-of-range indices, or VLM
+/// exhaustion.
+pub fn batched_table_tpc_forward(
+    spec: &DeviceSpec,
+    tables: &[Tensor],
+    lookup: &LookupBatch,
+    cfg: &EmbeddingConfig,
+) -> Result<(Tensor, OpCost)> {
+    if tables.len() != cfg.tables {
+        return Err(DcmError::InvalidConfig(format!(
+            "{} tables provided, config says {}",
+            tables.len(),
+            cfg.tables
+        )));
+    }
+    lookup.validate_rows(tables)?;
+    // Flat indices.
+    let mut flat = Vec::with_capacity(cfg.tables * lookup.batch * cfg.pooling);
+    for list in &lookup.indices {
+        #[allow(clippy::cast_precision_loss)]
+        flat.extend(list.iter().map(|&i| i as f32));
+    }
+    let idx_tensor = Tensor::from_vec([flat.len()], cfg.dtype, flat)?;
+    // tableOffsets and the stacked big table (Figure 14(b)).
+    let mut offsets = Vec::with_capacity(cfg.tables);
+    let mut stacked: Vec<f32> = Vec::new();
+    for t in tables {
+        #[allow(clippy::cast_precision_loss)]
+        offsets.push((stacked.len() / cfg.dim) as f32);
+        stacked.extend_from_slice(t.data());
+    }
+    let offsets_tensor = Tensor::from_vec([cfg.tables], cfg.dtype, offsets)?;
+    let rows = stacked.len() / cfg.dim;
+    let big = Tensor::from_vec([rows, cfg.dim], cfg.dtype, stacked)?;
+
+    let exec = TpcExecutor::new(spec);
+    let space = IndexSpace::new(vec![cfg.tables, lookup.batch])?;
+    let kernel = BatchedTableTpcKernel::new(cfg.clone(), lookup.batch);
+    let out_desc = TensorDesc::new([lookup.batch, cfg.tables * cfg.dim], cfg.dtype);
+    let mut result = exec.launch(
+        &kernel,
+        &space,
+        &[&idx_tensor, &offsets_tensor, &big],
+        &[out_desc],
+    )?;
+    let out = result.outputs.pop().expect("one output declared");
+    Ok((out, result.cost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::reference_forward;
+    use dcm_core::{rng, DType};
+
+    fn setup(seed: u64) -> (EmbeddingConfig, Vec<Tensor>, LookupBatch) {
+        let cfg = EmbeddingConfig {
+            tables: 3,
+            rows_per_table: 50,
+            dim: 8,
+            dtype: DType::Fp32,
+            pooling: 5,
+        };
+        let mut r = rng::seeded(seed);
+        let tables = (0..cfg.tables)
+            .map(|_| Tensor::random([cfg.rows_per_table, cfg.dim], cfg.dtype, &mut r))
+            .collect();
+        let lookup = LookupBatch::random(&cfg, 7, &mut r);
+        (cfg, tables, lookup)
+    }
+
+    #[test]
+    fn tpc_kernel_matches_reference() {
+        let (cfg, tables, lookup) = setup(31);
+        let expect = reference_forward(&tables, &lookup, &cfg).unwrap();
+        let (out, cost) =
+            single_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg).unwrap();
+        assert!(out.max_abs_diff(&expect).unwrap() < 1e-4);
+        assert!(cost.time() > 0.0);
+        assert!(cost.flops > 0.0);
+    }
+
+    #[test]
+    fn gathers_are_classified_random() {
+        // The embedding rows land at random offsets: the DSL's access
+        // classifier must see mostly random accesses, which is what makes
+        // the kernel granularity-sensitive on Gaudi (KT#6).
+        let (cfg, tables, lookup) = setup(32);
+        let exec_cost =
+            single_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg).unwrap();
+        // 32-byte rows on Gaudi: bus rounds every gather to 256 B.
+        assert!(exec_cost.1.bus_bytes > exec_cost.1.useful_bytes * 3);
+    }
+
+    #[test]
+    fn a100_prices_the_same_kernel_cheaper() {
+        let (cfg, tables, lookup) = setup(33);
+        let (out_g, cost_g) =
+            single_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg).unwrap();
+        let (out_a, cost_a) =
+            single_table_tpc_forward(&DeviceSpec::a100(), &tables, &lookup, &cfg).unwrap();
+        assert_eq!(out_g, out_a, "functional result is device independent");
+        // 32 B rows: the A100's sectors waste far less bus traffic.
+        assert!(cost_a.bus_bytes < cost_g.bus_bytes / 3);
+    }
+
+    #[test]
+    fn wide_vectors_respect_local_memory() {
+        // dim such that (UNROLL+1) * dim * 4 > 80 KB must fail cleanly.
+        let cfg = EmbeddingConfig {
+            tables: 1,
+            rows_per_table: 4,
+            dim: 8192, // 5 * 8192 * 4 = 160 KB > 80 KB
+            dtype: DType::Fp32,
+            pooling: 2,
+        };
+        let mut r = rng::seeded(34);
+        let tables = vec![Tensor::random(
+            [cfg.rows_per_table, cfg.dim],
+            cfg.dtype,
+            &mut r,
+        )];
+        let lookup = LookupBatch::random(&cfg, 1, &mut r);
+        let err = single_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg)
+            .unwrap_err();
+        assert!(matches!(err, DcmError::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn validates_table_count() {
+        let (cfg, mut tables, lookup) = setup(35);
+        tables.pop();
+        assert!(
+            single_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg).is_err()
+        );
+        let (cfg2, mut tables2, lookup2) = setup(36);
+        tables2.pop();
+        assert!(
+            batched_table_tpc_forward(&DeviceSpec::gaudi2(), &tables2, &lookup2, &cfg2).is_err()
+        );
+    }
+
+    #[test]
+    fn batched_kernel_matches_reference_and_single() {
+        let (cfg, tables, lookup) = setup(37);
+        let expect = reference_forward(&tables, &lookup, &cfg).unwrap();
+        let (single, _) =
+            single_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg).unwrap();
+        let (batched, _) =
+            batched_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg).unwrap();
+        assert!(batched.max_abs_diff(&expect).unwrap() < 1e-4);
+        assert!(batched.max_abs_diff(&single).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn batched_kernel_issues_one_launch_worth_of_offsets() {
+        // The fused kernel reads one tableOffsets entry per member and
+        // gathers from a single stacked table — its instruction mix must
+        // include those extra offset loads.
+        let (cfg, tables, lookup) = setup(38);
+        let (_, single_cost) =
+            single_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg).unwrap();
+        let (_, batched_cost) =
+            batched_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg).unwrap();
+        // Same gathered data either way.
+        assert!(batched_cost.useful_bytes > 0);
+        let rel = (batched_cost.useful_bytes as f64 - single_cost.useful_bytes as f64).abs()
+            / single_cost.useful_bytes as f64;
+        assert!(rel < 0.05, "useful bytes differ by {rel}");
+    }
+}

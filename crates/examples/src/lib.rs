@@ -1,0 +1,12 @@
+//! Host crate for the runnable examples in the repository-level
+//! `examples/` directory (Cargo examples must belong to a package).
+//!
+//! Run them with, e.g.:
+//!
+//! ```text
+//! cargo run -p dcm-examples --example quickstart
+//! cargo run -p dcm-examples --example recsys_serving
+//! cargo run -p dcm-examples --example llm_serving
+//! cargo run -p dcm-examples --example tpc_kernel
+//! cargo run -p dcm-examples --example figure2_matmul_add
+//! ```

@@ -1,0 +1,152 @@
+//! On-chip SRAM scratchpad accounting.
+//!
+//! Gaudi-2's 48 MB shared memory "serves as a scratchpad for the Gaudi
+//! graph compiler … facilitating data movement between the MMEs, TPCs, and
+//! DMA engines" (§2.1). The graph-compiler pipelining pass allocates slice
+//! buffers here; this allocator enforces the capacity so over-aggressive
+//! slicing fails the way it would on hardware.
+
+use dcm_core::error::{DcmError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Handle to one live scratchpad allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BufferId(u64);
+
+/// A capacity-checked scratchpad allocator (bookkeeping only — the
+/// functional layer stores data in host tensors).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SramScratchpad {
+    capacity: u64,
+    live: BTreeMap<BufferId, u64>,
+    next_id: u64,
+    high_water: u64,
+}
+
+impl SramScratchpad {
+    /// Create a scratchpad of `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: u64) -> Self {
+        SramScratchpad {
+            capacity,
+            live: BTreeMap::new(),
+            next_id: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    #[must_use]
+    pub fn in_use(&self) -> u64 {
+        self.live.values().sum()
+    }
+
+    /// Bytes still available.
+    #[must_use]
+    pub fn available(&self) -> u64 {
+        self.capacity - self.in_use()
+    }
+
+    /// Largest in-use watermark observed since construction.
+    #[must_use]
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Allocate `bytes`.
+    ///
+    /// # Errors
+    /// Returns [`DcmError::ResourceExhausted`] if the scratchpad cannot hold
+    /// the allocation.
+    pub fn alloc(&mut self, bytes: u64) -> Result<BufferId> {
+        if bytes > self.available() {
+            return Err(DcmError::ResourceExhausted(format!(
+                "sram alloc of {bytes} B exceeds {} B available",
+                self.available()
+            )));
+        }
+        let id = BufferId(self.next_id);
+        self.next_id += 1;
+        self.live.insert(id, bytes);
+        self.high_water = self.high_water.max(self.in_use());
+        Ok(id)
+    }
+
+    /// Release an allocation.
+    ///
+    /// # Errors
+    /// Returns [`DcmError::InvalidConfig`] if the buffer is not live
+    /// (double free or foreign id).
+    pub fn free(&mut self, id: BufferId) -> Result<()> {
+        if self.live.remove(&id).is_none() {
+            return Err(DcmError::InvalidConfig(format!(
+                "sram free of unknown buffer {id:?}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Release every allocation (end of a compiled graph execution).
+    pub fn reset(&mut self) {
+        self.live.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut s = SramScratchpad::new(1000);
+        let a = s.alloc(400).unwrap();
+        let b = s.alloc(600).unwrap();
+        assert_eq!(s.available(), 0);
+        assert!(s.alloc(1).is_err());
+        s.free(a).unwrap();
+        assert_eq!(s.available(), 400);
+        s.free(b).unwrap();
+        assert_eq!(s.in_use(), 0);
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut s = SramScratchpad::new(100);
+        let a = s.alloc(10).unwrap();
+        s.free(a).unwrap();
+        assert!(s.free(a).is_err());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut s = SramScratchpad::new(1000);
+        let a = s.alloc(700).unwrap();
+        s.free(a).unwrap();
+        let _b = s.alloc(100).unwrap();
+        assert_eq!(s.high_water(), 700);
+        assert_eq!(s.in_use(), 100);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut s = SramScratchpad::new(100);
+        let _ = s.alloc(50).unwrap();
+        let _ = s.alloc(50).unwrap();
+        s.reset();
+        assert_eq!(s.available(), 100);
+    }
+
+    #[test]
+    fn gaudi_capacity_fits_table1() {
+        let spec = dcm_core::DeviceSpec::gaudi2();
+        let s = SramScratchpad::new(spec.memory.sram_bytes);
+        assert_eq!(s.capacity(), 48 << 20);
+    }
+}

@@ -1,0 +1,155 @@
+//! MME array geometries.
+//!
+//! Gaudi-2's two MMEs, "originally composed of two separate 256×256 MAC
+//! units, can be dynamically reconfigured at runtime as a single 512×256
+//! MAC unit, a single 1024×128 MAC unit, and others" (§2.1). Intel does not
+//! disclose the full configuration set; Figure 7(a)'s reverse-engineering
+//! suggests the runtime also *power-gates* sub-arrays for small GEMMs. We
+//! enumerate power-of-two geometries within the physical MAC budget.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One MME configuration: `count` independent output-stationary arrays of
+/// `height × width` MACs each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Output rows each array covers per tile (the M-facing dimension).
+    pub height: usize,
+    /// Output columns each array covers per tile (the N-facing dimension).
+    pub width: usize,
+    /// Number of independent arrays working on different output tiles.
+    pub count: usize,
+}
+
+impl Geometry {
+    /// Create a geometry.
+    ///
+    /// # Panics
+    /// Panics if any field is zero.
+    #[must_use]
+    pub fn new(height: usize, width: usize, count: usize) -> Self {
+        assert!(height > 0 && width > 0 && count > 0);
+        Geometry {
+            height,
+            width,
+            count,
+        }
+    }
+
+    /// Total MAC units across all arrays.
+    #[must_use]
+    pub fn macs(&self) -> usize {
+        self.height * self.width * self.count
+    }
+
+    /// Fraction of `budget` MACs this geometry powers.
+    #[must_use]
+    pub fn powered_fraction(&self, budget: usize) -> f64 {
+        self.macs() as f64 / budget as f64
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 1 {
+            write!(f, "{}x{}", self.height, self.width)
+        } else {
+            write!(f, "{}x{}x{}", self.height, self.width, self.count)
+        }
+    }
+}
+
+/// Enumerate the geometries a reconfigurable MME complex with `arrays`
+/// physical `base_rows × base_cols` arrays can assume:
+///
+/// * the stock dual configuration (`base × base × arrays`),
+/// * fused single arrays trading height for width at the full MAC budget
+///   (512×256, 1024×128, 256×512, 128×1024, …), and
+/// * power-gated sub-arrays down to 64×64 for small GEMMs.
+#[must_use]
+pub fn gaudi_candidates(base_rows: usize, base_cols: usize, arrays: usize) -> Vec<Geometry> {
+    let budget = base_rows * base_cols * arrays;
+    let mut out = Vec::new();
+    let dims = [64usize, 128, 256, 512, 1024, 2048];
+    for &h in &dims {
+        for &w in &dims {
+            let macs = h * w;
+            if macs > budget {
+                continue;
+            }
+            // Full-budget fused configurations and their power-gated
+            // sub-arrays as single arrays.
+            out.push(Geometry::new(h, w, 1));
+            // Split configurations: multiple independent arrays of this
+            // shape, as many as the budget allows (>= 2 only; the 1-array
+            // case is covered above).
+            let max_count = budget / macs;
+            if max_count >= 2 {
+                out.push(Geometry::new(h, w, max_count.min(arrays.max(2)).min(4)));
+            }
+        }
+    }
+    out.sort_by_key(|g| (g.macs(), g.height, g.width, g.count));
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_and_fraction() {
+        let g = Geometry::new(256, 256, 2);
+        assert_eq!(g.macs(), 131072);
+        assert!((g.powered_fraction(131072) - 1.0).abs() < 1e-12);
+        let gated = Geometry::new(128, 128, 1);
+        assert!((gated.powered_fraction(131072) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Geometry::new(512, 256, 1).to_string(), "512x256");
+        assert_eq!(Geometry::new(256, 256, 2).to_string(), "256x256x2");
+    }
+
+    #[test]
+    fn candidates_cover_the_documented_configs() {
+        let c = gaudi_candidates(256, 256, 2);
+        // §2.1 names these explicitly.
+        assert!(c.contains(&Geometry::new(256, 256, 2)), "dual stock");
+        assert!(c.contains(&Geometry::new(512, 256, 1)), "fused tall");
+        assert!(c.contains(&Geometry::new(1024, 128, 1)), "fused taller");
+        // Wide variants and power-gated subsets.
+        assert!(c.contains(&Geometry::new(128, 1024, 1)));
+        assert!(c.contains(&Geometry::new(128, 128, 1)));
+        assert!(c.contains(&Geometry::new(64, 64, 1)));
+    }
+
+    #[test]
+    fn candidates_never_exceed_budget() {
+        let budget = 256 * 256 * 2;
+        for g in gaudi_candidates(256, 256, 2) {
+            assert!(g.macs() <= budget, "{g} exceeds budget");
+        }
+    }
+
+    #[test]
+    fn candidates_are_unique_and_sorted() {
+        let c = gaudi_candidates(256, 256, 2);
+        let mut seen = std::collections::HashSet::new();
+        for g in &c {
+            assert!(seen.insert(*g), "duplicate {g}");
+        }
+        for w in c.windows(2) {
+            assert!(w[0].macs() <= w[1].macs());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_geometry_rejected() {
+        let _ = Geometry::new(0, 256, 1);
+    }
+}

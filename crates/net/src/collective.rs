@@ -1,0 +1,375 @@
+//! α–β timing model for the six collectives of Figure 10, with NCCL-tests
+//! bus-bandwidth accounting [62].
+
+use dcm_core::cost::{Engine, OpCost};
+use dcm_core::specs::{DeviceSpec, FabricSpec};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The six collective operations of Figure 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Collective {
+    /// Every device ends with the element-wise sum of all inputs.
+    AllReduce,
+    /// Every device ends with the concatenation of all inputs.
+    AllGather,
+    /// Every device ends with one reduced shard.
+    ReduceScatter,
+    /// Personalized exchange: device i sends chunk j to device j.
+    AllToAll,
+    /// One root ends with the element-wise sum.
+    Reduce,
+    /// One root's buffer is copied to every device.
+    Broadcast,
+}
+
+impl Collective {
+    /// All six collectives, in the order of Figure 10's panels.
+    pub const ALL: [Collective; 6] = [
+        Collective::AllReduce,
+        Collective::AllGather,
+        Collective::ReduceScatter,
+        Collective::AllToAll,
+        Collective::Reduce,
+        Collective::Broadcast,
+    ];
+
+    /// The NCCL-tests bus-bandwidth factor: `busbw = algbw * factor(n)`.
+    /// Chosen so that busbw reflects per-link traffic independent of `n`.
+    #[must_use]
+    pub fn bus_factor(&self, n: usize) -> f64 {
+        let nf = n as f64;
+        match self {
+            Collective::AllReduce => 2.0 * (nf - 1.0) / nf,
+            Collective::AllGather | Collective::ReduceScatter | Collective::AllToAll => {
+                (nf - 1.0) / nf
+            }
+            Collective::Reduce | Collective::Broadcast => 1.0,
+        }
+    }
+
+    /// Bytes each device must move (send side) per payload byte in a ring
+    /// schedule — the β coefficient of the timing model.
+    #[must_use]
+    pub fn traffic_factor(&self, n: usize) -> f64 {
+        let nf = n as f64;
+        match self {
+            Collective::AllReduce => 2.0 * (nf - 1.0) / nf,
+            Collective::AllGather | Collective::ReduceScatter | Collective::AllToAll => {
+                (nf - 1.0) / nf
+            }
+            Collective::Reduce | Collective::Broadcast => 1.0,
+        }
+    }
+
+    /// Latency steps on a switched fabric: NCCL switches to tree/CollNet
+    /// algorithms when latency matters, giving log-depth critical paths
+    /// (the bandwidth term still reflects ring-equivalent traffic).
+    #[must_use]
+    pub fn steps(&self, n: usize) -> usize {
+        let depth = (n as f64).log2().ceil() as usize;
+        match self {
+            Collective::AllReduce => 2 * depth,
+            _ => depth,
+        }
+    }
+
+    /// Phases on a fully connected mesh, where every pair of devices has a
+    /// direct link: reduce-scatter and all-gather each complete in one
+    /// exchange phase (every device talks to every peer simultaneously),
+    /// so all-reduce needs two and everything else one.
+    #[must_use]
+    pub fn direct_phases(&self) -> usize {
+        match self {
+            Collective::AllReduce => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Collective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Collective::AllReduce => "AllReduce",
+            Collective::AllGather => "AllGather",
+            Collective::ReduceScatter => "ReduceScatter",
+            Collective::AllToAll => "AlltoAll",
+            Collective::Reduce => "Reduce",
+            Collective::Broadcast => "Broadcast",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-step software/NIC latency (the α term) and sustained link
+/// efficiency, by fabric type.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct FabricTuning {
+    alpha_s: f64,
+    efficiency: f64,
+    /// Extra penalty for Broadcast on fabrics without hardware multicast
+    /// (a P2P mesh root must feed each peer separately).
+    broadcast_efficiency: f64,
+}
+
+/// Collective-communication timing model for one node (HCCL on the mesh,
+/// NCCL on the switch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveModel {
+    name: String,
+    fabric: FabricSpec,
+    total_devices: usize,
+    tuning: FabricTuning,
+}
+
+impl CollectiveModel {
+    /// Build the model from a device spec.
+    #[must_use]
+    pub fn new(spec: &DeviceSpec) -> Self {
+        let tuning = match spec.fabric {
+            // RoCE: higher per-message latency, but direct links sustain a
+            // slightly higher fraction of line rate at large messages —
+            // Figure 10 shows Gaudi-2 leading in 5 of 6 collectives when
+            // all 8 devices participate.
+            FabricSpec::P2pMesh { .. } => FabricTuning {
+                alpha_s: 4.0e-6,
+                efficiency: 0.93,
+                broadcast_efficiency: 0.60,
+            },
+            // NVSwitch: low latency, but the crossbar serializes at high
+            // fan-in, costing some sustained efficiency.
+            FabricSpec::Switched { .. } => FabricTuning {
+                alpha_s: 2.5e-6,
+                efficiency: 0.80,
+                broadcast_efficiency: 1.0,
+            },
+        };
+        CollectiveModel {
+            name: format!("{} node", spec.name),
+            fabric: spec.fabric.clone(),
+            total_devices: spec.devices_per_node,
+            tuning,
+        }
+    }
+
+    /// Model name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Devices in the node.
+    #[must_use]
+    pub fn total_devices(&self) -> usize {
+        self.total_devices
+    }
+
+    /// Usable unidirectional per-device bandwidth with `participants`
+    /// devices active, after protocol efficiency.
+    #[must_use]
+    pub fn effective_bandwidth(&self, coll: Collective, participants: usize) -> f64 {
+        let raw = self.fabric.usable_bandwidth(participants, self.total_devices);
+        let eff = if coll == Collective::Broadcast {
+            self.tuning.efficiency * self.tuning.broadcast_efficiency
+        } else {
+            self.tuning.efficiency
+        };
+        raw * eff
+    }
+
+    /// Wall time of `coll` over `bytes` payload per device with
+    /// `participants` devices.
+    ///
+    /// # Panics
+    /// Panics if `participants` is not in `2..=total_devices` or `bytes`
+    /// is zero.
+    #[must_use]
+    pub fn time(&self, coll: Collective, bytes: u64, participants: usize) -> f64 {
+        assert!(
+            (2..=self.total_devices).contains(&participants),
+            "participants {participants} out of 2..={}",
+            self.total_devices
+        );
+        assert!(bytes > 0, "payload must be non-empty");
+        let bw = self.effective_bandwidth(coll, participants);
+        let beta = bytes as f64 * coll.traffic_factor(participants) / bw;
+        // The P2P mesh runs *direct* algorithms (every pair wired), so its
+        // latency term counts exchange phases, not ring hops — one of the
+        // few latency advantages of the HLS-Gaudi-2 topology.
+        let steps = match self.fabric {
+            FabricSpec::P2pMesh { .. } => coll.direct_phases(),
+            FabricSpec::Switched { .. } => coll.steps(participants),
+        };
+        let alpha = steps as f64 * self.tuning.alpha_s;
+        alpha + beta
+    }
+
+    /// Algorithm bandwidth: payload bytes over wall time.
+    #[must_use]
+    pub fn alg_bandwidth(&self, coll: Collective, bytes: u64, participants: usize) -> f64 {
+        bytes as f64 / self.time(coll, bytes, participants)
+    }
+
+    /// Bus bandwidth per NCCL-tests: `algbw * bus_factor` [62].
+    #[must_use]
+    pub fn bus_bandwidth(&self, coll: Collective, bytes: u64, participants: usize) -> f64 {
+        self.alg_bandwidth(coll, bytes, participants) * coll.bus_factor(participants)
+    }
+
+    /// Bus-bandwidth utilization: bus bandwidth over the node's full
+    /// per-device bandwidth (the y-axis of Figure 10).
+    #[must_use]
+    pub fn bus_utilization(&self, coll: Collective, bytes: u64, participants: usize) -> f64 {
+        self.bus_bandwidth(coll, bytes, participants)
+            / self.fabric.full_bandwidth(self.total_devices)
+    }
+
+    /// Lift a collective into an [`OpCost`] (network engine).
+    #[must_use]
+    pub fn cost(&self, coll: Collective, bytes: u64, participants: usize) -> OpCost {
+        let t = self.time(coll, bytes, participants);
+        let moved = (bytes as f64 * coll.traffic_factor(participants)) as u64;
+        OpCost {
+            engine: Engine::Network,
+            compute_s: t,
+            memory_s: 0.0,
+            flops: 0.0,
+            bus_bytes: moved,
+            useful_bytes: bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcm_core::DeviceSpec;
+
+    fn gaudi() -> CollectiveModel {
+        CollectiveModel::new(&DeviceSpec::gaudi2())
+    }
+
+    fn a100() -> CollectiveModel {
+        CollectiveModel::new(&DeviceSpec::a100())
+    }
+
+    const MB32: u64 = 32 << 20;
+
+    #[test]
+    fn gaudi_leads_in_5_of_6_at_8_devices() {
+        // Figure 10: "Gaudi-2 shows higher bus bandwidth utilization than
+        // A100 for 5 of the 6 collective communication patterns" at 8
+        // devices and large payloads.
+        let mut gaudi_wins = 0;
+        for coll in Collective::ALL {
+            let g = gaudi().bus_utilization(coll, MB32, 8);
+            let a = a100().bus_utilization(coll, MB32, 8);
+            if g > a {
+                gaudi_wins += 1;
+            }
+        }
+        assert_eq!(gaudi_wins, 5, "expected exactly 5 Gaudi wins");
+    }
+
+    #[test]
+    fn gaudi_utilization_declines_linearly_with_fewer_devices() {
+        // Figure 10: "an almost linear decline" for Gaudi-2; the paper's
+        // mechanism is that only links toward participants carry traffic.
+        let g = gaudi();
+        let u8 = g.bus_utilization(Collective::AllReduce, MB32, 8);
+        let u4 = g.bus_utilization(Collective::AllReduce, MB32, 4);
+        let u2 = g.bus_utilization(Collective::AllReduce, MB32, 2);
+        assert!(u8 > u4 && u4 > u2);
+        // 2 devices use 1/7 of the links but also move less data per ring
+        // step; the net utilization ratio tracks (n-1)/7 closely.
+        assert!((u2 / u8) < 0.25, "u2/u8 = {}", u2 / u8);
+        assert!((u4 / u8) < 0.55, "u4/u8 = {}", u4 / u8);
+    }
+
+    #[test]
+    fn a100_utilization_is_stable_across_device_counts() {
+        let a = a100();
+        let u8 = a.bus_utilization(Collective::AllReduce, MB32, 8);
+        let u2 = a.bus_utilization(Collective::AllReduce, MB32, 2);
+        assert!((u8 - u2).abs() / u8 < 0.15, "u8={u8} u2={u2}");
+    }
+
+    #[test]
+    fn small_messages_are_latency_bound() {
+        for model in [gaudi(), a100()] {
+            let small = model.bus_utilization(Collective::AllReduce, 2 << 10, 8);
+            let large = model.bus_utilization(Collective::AllReduce, MB32, 8);
+            assert!(small < 0.1 * large, "{}: {small} vs {large}", model.name());
+        }
+    }
+
+    #[test]
+    fn small_message_latency_depends_on_topology() {
+        // At 2 devices the switch's lower per-hop latency wins; at 8
+        // devices the mesh's direct algorithms (2 phases vs 14 ring steps)
+        // win the latency race despite RoCE's higher per-message cost.
+        let g2 = gaudi().time(Collective::AllReduce, 2 << 10, 2);
+        let a2 = a100().time(Collective::AllReduce, 2 << 10, 2);
+        assert!(a2 < g2, "2 devices: switch {a2} vs mesh {g2}");
+        let g8 = gaudi().time(Collective::AllReduce, 2 << 10, 8);
+        let a8 = a100().time(Collective::AllReduce, 2 << 10, 8);
+        assert!(g8 < a8, "8 devices: mesh {g8} vs switch {a8}");
+    }
+
+    #[test]
+    fn allreduce_moves_twice_the_payload() {
+        let c = gaudi().cost(Collective::AllReduce, 1 << 20, 8);
+        let expected = (1u64 << 20) as f64 * 2.0 * 7.0 / 8.0;
+        assert!((c.bus_bytes as f64 - expected).abs() < 1.0);
+        assert_eq!(c.useful_bytes, 1 << 20);
+        assert_eq!(c.engine, Engine::Network);
+    }
+
+    #[test]
+    fn bus_factors_match_nccl_definitions() {
+        assert!((Collective::AllReduce.bus_factor(8) - 1.75).abs() < 1e-12);
+        assert!((Collective::AllGather.bus_factor(8) - 0.875).abs() < 1e-12);
+        assert!((Collective::Reduce.bus_factor(8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn steps_scale_with_participants() {
+        // Tree depth on the switch, constant phases on the mesh.
+        assert_eq!(Collective::AllReduce.steps(8), 6);
+        assert_eq!(Collective::Broadcast.steps(8), 3);
+        assert_eq!(Collective::AllReduce.steps(2), 2);
+        assert_eq!(Collective::AllReduce.direct_phases(), 2);
+        assert_eq!(Collective::AllGather.direct_phases(), 1);
+    }
+
+    #[test]
+    fn time_is_monotonic_in_bytes() {
+        let g = gaudi();
+        let mut prev = 0.0;
+        for kb in [2u64, 32, 512, 8192, 32768] {
+            let t = g.time(Collective::AllGather, kb << 10, 8);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "participants")]
+    fn single_participant_rejected() {
+        let _ = gaudi().time(Collective::AllReduce, 1024, 1);
+    }
+
+    #[test]
+    fn multi_device_llm_scaling_mechanism() {
+        // §3.5: Gaudi's speedup grows with device count because all-reduce
+        // bandwidth is proportional to participants. Verify the underlying
+        // bandwidth ratio Gaudi/A100 improves from 2 to 8 devices.
+        let ratio = |n: usize| {
+            let g = gaudi().alg_bandwidth(Collective::AllReduce, MB32, n);
+            let a = a100().alg_bandwidth(Collective::AllReduce, MB32, n);
+            g / a
+        };
+        assert!(ratio(8) > ratio(4));
+        assert!(ratio(4) > ratio(2));
+    }
+}

@@ -1,0 +1,22 @@
+//! # dcm-net
+//!
+//! Collective-communication models for the two server nodes the paper
+//! evaluates (§2.1, §3.4):
+//!
+//! * **HLS-Gaudi-2** — eight devices in a *point-to-point mesh*: every pair
+//!   wired with 3×100 GbE RoCE links. A device can only use the links that
+//!   point at devices participating in the collective, so usable bandwidth
+//!   scales with `(participants − 1) / 7`.
+//! * **DGX A100** — eight devices behind an *NVSwitch crossbar*: full
+//!   injection bandwidth regardless of participant count.
+//!
+//! [`collective`] prices the six collectives of Figure 10 with an α–β ring
+//! model and the bus-bandwidth metric defined by NCCL-tests; [`functional`]
+//! actually moves tensor data so tensor-parallel serving can be verified.
+
+pub mod collective;
+pub mod functional;
+pub mod multinode;
+
+pub use collective::{Collective, CollectiveModel};
+pub use multinode::MultiNodeModel;

@@ -1,0 +1,111 @@
+//! Synthetic request traces.
+//!
+//! The paper's end-to-end serving experiment (Figure 17(d,e)) uses the
+//! Dynamic-Sonnet dataset [13] "to properly reflect LLM serving system's
+//! dynamism and variable output length". The dataset itself is a prompt
+//! collection; only its *length distribution* matters to a timing model,
+//! so we synthesize traces with matching character: prompts drawn from
+//! discrete buckets (512/1K/2K/4K tokens) and output lengths from a
+//! truncated geometric distribution.
+
+use dcm_core::rng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One serving request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Request id (stable across the trace).
+    pub id: u64,
+    /// Prompt length in tokens.
+    pub input_len: usize,
+    /// Tokens to generate.
+    pub output_len: usize,
+}
+
+/// Synthetic trace generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SyntheticDataset;
+
+impl SyntheticDataset {
+    /// A Dynamic-Sonnet-like trace: `n` requests, prompt lengths from the
+    /// buckets {512, 1024, 2048, 4096} (weighted toward the shorter ones),
+    /// output lengths geometric with mean ~200, clamped to `[25, 1024]`.
+    #[must_use]
+    pub fn dynamic_sonnet(n: usize, seed: u64) -> Vec<Request> {
+        let mut r = rng::seeded(seed);
+        let buckets: [(usize, f64); 4] =
+            [(512, 0.4), (1024, 0.3), (2048, 0.2), (4096, 0.1)];
+        (0..n as u64)
+            .map(|id| {
+                let input_len = rng::weighted_choice(&mut r, &buckets);
+                // Truncated geometric via inverse CDF.
+                let u: f64 = r.gen_range(0.0_f64..1.0);
+                let mean = 200.0;
+                let raw = (-(1.0 - u).ln() * mean) as usize;
+                Request {
+                    id,
+                    input_len,
+                    output_len: raw.clamp(25, 1024),
+                }
+            })
+            .collect()
+    }
+
+    /// A fixed-shape trace (the Figure 12 static experiments).
+    #[must_use]
+    pub fn fixed(n: usize, input_len: usize, output_len: usize) -> Vec<Request> {
+        (0..n as u64)
+            .map(|id| Request {
+                id,
+                input_len,
+                output_len,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let a = SyntheticDataset::dynamic_sonnet(64, 42);
+        let b = SyntheticDataset::dynamic_sonnet(64, 42);
+        assert_eq!(a, b);
+        let c = SyntheticDataset::dynamic_sonnet(64, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lengths_are_in_range_and_variable() {
+        let reqs = SyntheticDataset::dynamic_sonnet(500, 1);
+        assert_eq!(reqs.len(), 500);
+        for r in &reqs {
+            assert!([512, 1024, 2048, 4096].contains(&r.input_len));
+            assert!((25..=1024).contains(&r.output_len));
+        }
+        let distinct_out: std::collections::HashSet<_> =
+            reqs.iter().map(|r| r.output_len).collect();
+        assert!(distinct_out.len() > 20, "outputs should vary");
+        let mean_out: f64 =
+            reqs.iter().map(|r| r.output_len as f64).sum::<f64>() / reqs.len() as f64;
+        assert!((120.0..280.0).contains(&mean_out), "mean output {mean_out}");
+    }
+
+    #[test]
+    fn short_prompts_dominate() {
+        let reqs = SyntheticDataset::dynamic_sonnet(1000, 2);
+        let short = reqs.iter().filter(|r| r.input_len <= 1024).count();
+        assert!(short > 550, "short-prompt share {short}");
+    }
+
+    #[test]
+    fn fixed_trace() {
+        let reqs = SyntheticDataset::fixed(3, 100, 25);
+        assert_eq!(reqs.len(), 3);
+        assert!(reqs.iter().all(|r| r.input_len == 100 && r.output_len == 25));
+        assert_eq!(reqs[2].id, 2);
+    }
+}

@@ -1,0 +1,477 @@
+//! Continuous-batching serving engine (Figure 17(d,e)).
+//!
+//! An iteration-level scheduler in the ORCA/vLLM style [80, 42]: each
+//! iteration either admits a waiting request (running its prefill) or
+//! executes one decode step for every active sequence. The decode-stage
+//! batch size is capped by `max_decode_batch` — the knob the paper sweeps
+//! — and by KV-cache block availability.
+//!
+//! Reported metrics follow the paper: end-to-end serving throughput
+//! (output tokens per second), mean TTFT (arrival to first token) and mean
+//! TPOT (per-token decode latency).
+
+use crate::attention::{PagedAttention, PagedBackend, DEFAULT_BLOCK_TOKENS};
+use crate::dataset::Request;
+use crate::kv_cache::PagedKvCache;
+use dcm_compiler::{CompileOptions, Device};
+use dcm_core::error::{DcmError, Result};
+use dcm_core::DType;
+use dcm_workloads::llama::LlamaConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Fraction of HBM reserved for weights and activations before sizing the
+/// KV cache.
+const ACTIVATION_HEADROOM: f64 = 0.08;
+
+/// Aggregate metrics of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingReport {
+    /// Completed requests.
+    pub completed: usize,
+    /// Output tokens produced.
+    pub total_output_tokens: usize,
+    /// Wall time of the run in seconds.
+    pub total_time_s: f64,
+    /// Output tokens per second — Figure 17(d).
+    pub throughput_tps: f64,
+    /// Mean time-to-first-token in seconds — Figure 17(e).
+    pub mean_ttft_s: f64,
+    /// Mean time-per-output-token in seconds — Figure 17(e).
+    pub mean_tpot_s: f64,
+    /// Peak concurrent decode batch observed.
+    pub peak_batch: usize,
+    /// Sequences preempted (KV blocks reclaimed, progress recomputed
+    /// later) — vLLM's recompute-mode preemption.
+    pub preemptions: usize,
+}
+
+struct ActiveSeq {
+    remaining: usize,
+    first_token_t: f64,
+    produced: usize,
+}
+
+/// A queued unit of work: a fresh request, or one resumed after preemption
+/// (its generated-so-far tokens are recomputed at re-admission, vLLM's
+/// recompute mode).
+struct WorkItem {
+    request: Request,
+    resumed: Option<ActiveSeq>,
+}
+
+impl WorkItem {
+    fn fresh(request: Request) -> Self {
+        WorkItem {
+            request,
+            resumed: None,
+        }
+    }
+
+    /// Tokens that must be in the KV cache at admission.
+    fn admit_tokens(&self) -> usize {
+        self.request.input_len
+            + self.resumed.as_ref().map_or(0, |s| s.produced)
+    }
+}
+
+/// Continuous-batching LLM serving engine over one device group.
+#[derive(Debug)]
+pub struct ServingEngine {
+    device: Device,
+    model: LlamaConfig,
+    tp: usize,
+    attention: PagedAttention,
+    max_decode_batch: usize,
+    block_tokens: usize,
+    kv_blocks_override: Option<usize>,
+    nonattn_cache: HashMap<usize, f64>,
+    prefill_cache: HashMap<usize, f64>,
+}
+
+impl ServingEngine {
+    /// Create an engine for `model` on `device` with `tp`-way tensor
+    /// parallelism and the given PagedAttention backend.
+    ///
+    /// # Panics
+    /// Panics if `max_decode_batch` is zero or `tp` does not divide the
+    /// query heads.
+    #[must_use]
+    pub fn new(
+        device: &Device,
+        model: LlamaConfig,
+        tp: usize,
+        backend: PagedBackend,
+        max_decode_batch: usize,
+    ) -> Self {
+        assert!(max_decode_batch > 0, "max_decode_batch must be positive");
+        let attention = PagedAttention::new(device, backend, &model, tp);
+        ServingEngine {
+            device: device.clone(),
+            model,
+            tp,
+            attention,
+            max_decode_batch,
+            block_tokens: DEFAULT_BLOCK_TOKENS,
+            kv_blocks_override: None,
+            nonattn_cache: HashMap::new(),
+            prefill_cache: HashMap::new(),
+        }
+    }
+
+    /// Cap the KV cache at `blocks` blocks regardless of HBM capacity —
+    /// for studying preemption behaviour under memory pressure.
+    ///
+    /// # Panics
+    /// Panics if `blocks` is zero.
+    #[must_use]
+    pub fn with_kv_blocks(mut self, blocks: usize) -> Self {
+        assert!(blocks > 0, "need at least one KV block");
+        self.kv_blocks_override = Some(blocks);
+        self
+    }
+
+    fn nonattn_step_time(&mut self, batch: usize) -> f64 {
+        if let Some(&t) = self.nonattn_cache.get(&batch) {
+            return t;
+        }
+        let g = self.model.decode_nonattn_graph(batch, self.tp);
+        let t = self
+            .device
+            .run_graph(&g, &CompileOptions::default())
+            .time_s();
+        self.nonattn_cache.insert(batch, t);
+        t
+    }
+
+    fn prefill_time(&mut self, input_len: usize) -> f64 {
+        if let Some(&t) = self.prefill_cache.get(&input_len) {
+            return t;
+        }
+        let g = self.model.prefill_graph(1, input_len, self.tp);
+        let t = self
+            .device
+            .run_graph(&g, &CompileOptions::default())
+            .time_s();
+        self.prefill_cache.insert(input_len, t);
+        t
+    }
+
+    /// Serve `requests` to completion (all arrive at time zero, the
+    /// offline-throughput setup of Figure 17(d,e)).
+    ///
+    /// Admission is optimistic (vLLM style): a request is admitted when
+    /// its *current* tokens fit, and sequences that outgrow the cache
+    /// preempt the youngest active sequence, whose progress is recomputed
+    /// at re-admission (recompute-mode preemption).
+    ///
+    /// # Errors
+    /// Returns [`DcmError::ResourceExhausted`] if a single request alone
+    /// cannot fit in the KV cache, or [`DcmError::InvalidConfig`] for an
+    /// empty trace.
+    pub fn run(&mut self, requests: &[Request]) -> Result<ServingReport> {
+        if requests.is_empty() {
+            return Err(DcmError::InvalidConfig("empty request trace".to_owned()));
+        }
+        let weights = self.model.param_count() * DType::Bf16.size_bytes() as f64
+            / self.tp as f64;
+        let hbm = self.device.spec().memory.hbm_capacity_bytes;
+        let reserved = weights as u64 + (hbm as f64 * ACTIVATION_HEADROOM) as u64;
+        let mut kv = match self.kv_blocks_override {
+            Some(blocks) => PagedKvCache::new(blocks, self.block_tokens),
+            None => PagedKvCache::sized_for(
+                hbm,
+                reserved,
+                self.model.kv_bytes_per_token(self.tp),
+                self.block_tokens,
+            )?,
+        };
+
+        let mut waiting: VecDeque<WorkItem> =
+            requests.iter().copied().map(WorkItem::fresh).collect();
+        let mut active: BTreeMap<u64, ActiveSeq> = BTreeMap::new();
+        let mut output_len: HashMap<u64, usize> = HashMap::new();
+        let mut t = 0.0_f64;
+        let mut ttfts = Vec::with_capacity(requests.len());
+        let mut tpots = Vec::new();
+        let mut total_output = 0usize;
+        let mut completed = 0usize;
+        let mut peak_batch = 0usize;
+        let mut preemptions = 0usize;
+
+        while !waiting.is_empty() || !active.is_empty() {
+            // Admission: prefill one waiting item per iteration if the
+            // decode batch has room and its current tokens fit.
+            let can_admit = active.len() < self.max_decode_batch
+                && waiting
+                    .front()
+                    .is_some_and(|w| kv.can_admit(w.admit_tokens() + 1));
+            if can_admit {
+                let w = waiting.pop_front().expect("checked non-empty");
+                let r = w.request;
+                kv.admit(r.id, w.admit_tokens())?;
+                // Prefill covers the prompt plus, for a resumed sequence,
+                // the recomputation of its already-generated tokens.
+                t += self.prefill_time(w.admit_tokens());
+                kv.append_token(r.id)?;
+                let seq = match w.resumed {
+                    Some(state) => state,
+                    None => {
+                        // Prefill emits the first output token.
+                        ttfts.push(t);
+                        total_output += 1;
+                        output_len.insert(r.id, r.output_len);
+                        ActiveSeq {
+                            remaining: r.output_len - 1,
+                            first_token_t: t,
+                            produced: 1,
+                        }
+                    }
+                };
+                if seq.remaining == 0 {
+                    kv.release(r.id)?;
+                    completed += 1;
+                    tpots.push(0.0);
+                } else {
+                    active.insert(r.id, seq);
+                }
+                continue;
+            }
+            if active.is_empty() {
+                if waiting.is_empty() {
+                    break;
+                }
+                // Nothing active and the head of queue cannot be admitted:
+                // the request alone exceeds capacity.
+                let w = waiting.front().expect("non-empty");
+                return Err(DcmError::ResourceExhausted(format!(
+                    "request {} ({} tokens) exceeds KV capacity",
+                    w.request.id,
+                    w.admit_tokens()
+                )));
+            }
+            // One decode step for all active sequences.
+            peak_batch = peak_batch.max(active.len());
+            let lens: Vec<usize> = active
+                .keys()
+                .map(|id| kv.tokens_of(*id).expect("active implies live"))
+                .collect();
+            let attn = self.attention.decode_cost(&lens, 0.0).time();
+            let step = self.nonattn_step_time(active.len()) + attn;
+            t += step;
+            let ids: Vec<u64> = active.keys().copied().collect();
+            for id in ids {
+                if !active.contains_key(&id) {
+                    continue; // preempted earlier in this step
+                }
+                while kv.append_token(id).is_err() {
+                    // Out of blocks: preempt the youngest active sequence
+                    // (highest id) that is not `id` itself; if `id` is the
+                    // only one, preempt it and retry at re-admission.
+                    let victim = active
+                        .keys()
+                        .rev()
+                        .copied()
+                        .find(|v| *v != id)
+                        .unwrap_or(id);
+                    let state = active.remove(&victim).expect("victim is active");
+                    kv.release(victim)?;
+                    preemptions += 1;
+                    let victim_req = Request {
+                        id: victim,
+                        input_len: requests
+                            .iter()
+                            .find(|r| r.id == victim)
+                            .expect("victim came from the trace")
+                            .input_len,
+                        output_len: output_len[&victim],
+                    };
+                    waiting.push_front(WorkItem {
+                        request: victim_req,
+                        resumed: Some(state),
+                    });
+                    if victim == id {
+                        break;
+                    }
+                }
+                let Some(seq) = active.get_mut(&id) else {
+                    continue; // preempted itself
+                };
+                total_output += 1;
+                seq.remaining -= 1;
+                seq.produced += 1;
+                if seq.remaining == 0 {
+                    let tpot = (t - seq.first_token_t) / (seq.produced - 1).max(1) as f64;
+                    tpots.push(tpot);
+                    active.remove(&id);
+                    kv.release(id)?;
+                    completed += 1;
+                }
+            }
+        }
+
+        let mean = |xs: &[f64]| {
+            if xs.is_empty() {
+                0.0
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
+        };
+        Ok(ServingReport {
+            completed,
+            total_output_tokens: total_output,
+            total_time_s: t,
+            throughput_tps: total_output as f64 / t,
+            mean_ttft_s: mean(&ttfts),
+            mean_tpot_s: mean(&tpots),
+            peak_batch,
+            preemptions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SyntheticDataset;
+
+    fn engine(backend: PagedBackend, max_batch: usize) -> ServingEngine {
+        let device = match backend {
+            PagedBackend::A100Fused => Device::a100(),
+            _ => Device::gaudi2(),
+        };
+        ServingEngine::new(&device, LlamaConfig::llama31_8b(), 1, backend, max_batch)
+    }
+
+    #[test]
+    fn completes_all_requests() {
+        let reqs = SyntheticDataset::fixed(8, 128, 16);
+        let report = engine(PagedBackend::GaudiOpt, 8).run(&reqs).unwrap();
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.total_output_tokens, 8 * 16);
+        assert!(report.total_time_s > 0.0);
+        assert_eq!(report.peak_batch, 8);
+    }
+
+    #[test]
+    fn throughput_rises_with_max_batch() {
+        // Figure 17(d): larger decode batches raise serving throughput.
+        let reqs = SyntheticDataset::dynamic_sonnet(24, 7);
+        let t4 = engine(PagedBackend::GaudiOpt, 4).run(&reqs).unwrap();
+        let t16 = engine(PagedBackend::GaudiOpt, 16).run(&reqs).unwrap();
+        assert!(
+            t16.throughput_tps > t4.throughput_tps,
+            "{} vs {}",
+            t16.throughput_tps,
+            t4.throughput_tps
+        );
+    }
+
+    #[test]
+    fn tpot_degrades_with_max_batch() {
+        // Figure 17(e): bigger batches mean slower per-token latency.
+        let reqs = SyntheticDataset::dynamic_sonnet(24, 8);
+        let t2 = engine(PagedBackend::GaudiOpt, 2).run(&reqs).unwrap();
+        let t16 = engine(PagedBackend::GaudiOpt, 16).run(&reqs).unwrap();
+        assert!(t16.mean_tpot_s > t2.mean_tpot_s);
+    }
+
+    #[test]
+    fn opt_backend_beats_base_end_to_end() {
+        // Decode-heavy workload: short prompts, long generations, so the
+        // PagedAttention gap isn't fully diluted by prefill. Even so,
+        // Amdahl's law (KT#7) shrinks the 7.4x kernel-level gap to a
+        // moderate end-to-end win — the same effect that lets the
+        // optimized Gaudi reach A100-level end-to-end throughput despite
+        // a 2.2x slower attention kernel.
+        let reqs = SyntheticDataset::fixed(8, 512, 96);
+        let base = engine(PagedBackend::GaudiBase, 8).run(&reqs).unwrap();
+        let opt = engine(PagedBackend::GaudiOpt, 8).run(&reqs).unwrap();
+        assert!(
+            opt.throughput_tps > 1.3 * base.throughput_tps,
+            "opt {} vs base {}",
+            opt.throughput_tps,
+            base.throughput_tps
+        );
+    }
+
+    #[test]
+    fn gaudi_opt_is_competitive_with_a100_end_to_end() {
+        // Figure 17(d) / KT#7: despite the 2.2x PagedAttention gap,
+        // end-to-end throughput is comparable (Amdahl + GEMM advantage).
+        let reqs = SyntheticDataset::dynamic_sonnet(16, 9);
+        let g = engine(PagedBackend::GaudiOpt, 8).run(&reqs).unwrap();
+        let a = engine(PagedBackend::A100Fused, 8).run(&reqs).unwrap();
+        let ratio = g.throughput_tps / a.throughput_tps;
+        assert!(ratio > 0.8 && ratio < 1.6, "gaudi/a100 throughput {ratio}");
+    }
+
+    #[test]
+    fn oversized_request_is_reported() {
+        let reqs = SyntheticDataset::fixed(1, 4_000_000, 8);
+        let err = engine(PagedBackend::GaudiOpt, 4).run(&reqs).unwrap_err();
+        assert!(matches!(err, DcmError::ResourceExhausted(_)));
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert!(engine(PagedBackend::GaudiOpt, 4).run(&[]).is_err());
+    }
+
+    #[test]
+    fn preemption_under_memory_pressure() {
+        // 12 blocks of 128 tokens: four 256-token prompts with 200-token
+        // generations cannot all stay resident; the engine must preempt,
+        // recompute and still complete everything.
+        let reqs = SyntheticDataset::fixed(4, 256, 200);
+        let mut eng = ServingEngine::new(
+            &Device::gaudi2(),
+            LlamaConfig::llama31_8b(),
+            1,
+            PagedBackend::GaudiOpt,
+            4,
+        )
+        .with_kv_blocks(12);
+        let report = eng.run(&reqs).unwrap();
+        assert_eq!(report.completed, 4);
+        assert_eq!(report.total_output_tokens, 4 * 200);
+        assert!(report.preemptions > 0, "expected preemptions: {report:?}");
+        // Preemption costs time: the unconstrained run is faster.
+        let mut free = ServingEngine::new(
+            &Device::gaudi2(),
+            LlamaConfig::llama31_8b(),
+            1,
+            PagedBackend::GaudiOpt,
+            4,
+        );
+        let unconstrained = free.run(&reqs).unwrap();
+        assert_eq!(unconstrained.preemptions, 0);
+        assert!(unconstrained.total_time_s < report.total_time_s);
+    }
+
+    #[test]
+    fn single_request_larger_than_cache_errors() {
+        let reqs = SyntheticDataset::fixed(1, 2000, 8);
+        let mut eng = ServingEngine::new(
+            &Device::gaudi2(),
+            LlamaConfig::llama31_8b(),
+            1,
+            PagedBackend::GaudiOpt,
+            2,
+        )
+        .with_kv_blocks(4); // 512 tokens max
+        assert!(matches!(
+            eng.run(&reqs),
+            Err(DcmError::ResourceExhausted(_))
+        ));
+    }
+
+    #[test]
+    fn single_token_requests_complete_at_prefill() {
+        let reqs = SyntheticDataset::fixed(3, 64, 1);
+        let report = engine(PagedBackend::GaudiOpt, 4).run(&reqs).unwrap();
+        assert_eq!(report.completed, 3);
+        assert_eq!(report.total_output_tokens, 3);
+        assert_eq!(report.peak_batch, 0); // never decoded
+    }
+}

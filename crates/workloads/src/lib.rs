@@ -1,0 +1,36 @@
+//! # dcm-workloads
+//!
+//! The two end-to-end AI workloads of the paper's §3.5 (Table 3):
+//!
+//! * [`dlrm`] — DLRM-DCNv2 recommendation models RM1 (compute-intensive)
+//!   and RM2 (memory-intensive): embedding layers, bottom/top MLPs and the
+//!   low-rank DCNv2 cross interaction, served on a single device with a
+//!   pluggable embedding operator (Figure 11).
+//! * [`llama`] — Llama-3.1-8B/70B decoder models with grouped-query
+//!   attention and KV caching, served single-device or tensor-parallel
+//!   over 2–8 devices (Figures 12 and 13).
+//!
+//! Both lower to `dcm-compiler` operator graphs and execute on a modeled
+//! [`dcm_compiler::Device`].
+//!
+//! ```
+//! use dcm_compiler::Device;
+//! use dcm_workloads::llama::{LlamaConfig, LlamaServer};
+//!
+//! let server = LlamaServer::new(LlamaConfig::llama31_8b(), 1);
+//! let run = server.serve(&Device::gaudi2(), 16, 100, 25);
+//! assert!(run.total_time_s() > 0.0);
+//! assert_eq!(run.tokens_generated, 16 * 25);
+//! ```
+
+pub mod dlrm;
+pub mod dlrm_functional;
+pub mod llama;
+pub mod llama_functional;
+pub mod training;
+
+pub use dlrm::{DlrmConfig, DlrmRun, DlrmServer};
+pub use dlrm_functional::DlrmFunctional;
+pub use llama::{LlamaConfig, LlamaServer, ServeRun};
+pub use llama_functional::{LayerDims, LlamaLayerFunctional};
+pub use training::{cluster_tokens_per_second, train_step, train_step_cluster, TrainStepRun, TrainingConfig};

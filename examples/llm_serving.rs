@@ -1,0 +1,65 @@
+//! LLM serving: Llama-3.1-8B on a single device with a paged KV cache and
+//! continuous batching, then Llama-3.1-70B tensor-parallel over 2–8
+//! devices.
+//!
+//! ```text
+//! cargo run -p dcm-examples --example llm_serving
+//! ```
+
+use dcm_compiler::Device;
+use dcm_vllm::attention::PagedBackend;
+use dcm_vllm::dataset::SyntheticDataset;
+use dcm_vllm::engine::ServingEngine;
+use dcm_workloads::llama::{LlamaConfig, LlamaServer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Continuous-batching serving of a variable-length trace on one
+    //    device per platform.
+    println!("Llama-3.1-8B, continuous batching, 32 variable-length requests\n");
+    let trace = SyntheticDataset::dynamic_sonnet(32, 7);
+    println!(
+        "{:<28} {:>12} {:>10} {:>10} {:>10}",
+        "engine", "tokens/s", "TTFT ms", "TPOT ms", "peak batch"
+    );
+    for (device, backend) in [
+        (Device::gaudi2(), PagedBackend::GaudiOpt),
+        (Device::gaudi2(), PagedBackend::GaudiBase),
+        (Device::a100(), PagedBackend::A100Fused),
+    ] {
+        let mut engine =
+            ServingEngine::new(&device, LlamaConfig::llama31_8b(), 1, backend, 16);
+        let report = engine.run(&trace)?;
+        println!(
+            "{:<28} {:>12.0} {:>10.0} {:>10.1} {:>10}",
+            format!("{} {:?}", device.name(), backend),
+            report.throughput_tps,
+            report.mean_ttft_s * 1e3,
+            report.mean_tpot_s * 1e3,
+            report.peak_batch,
+        );
+    }
+
+    // 2. Tensor-parallel 70B: static batch, sweeping device count. Large
+    //    batches make the all-reduces bandwidth-dominated, where the P2P
+    //    fabric's proportional scaling shows.
+    println!("\nLlama-3.1-70B, static batch 128, input 100, output 100 tokens\n");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10}",
+        "devices", "Gaudi-2 ms", "A100 ms", "speedup"
+    );
+    for tp in [2usize, 4, 8] {
+        let server = LlamaServer::new(LlamaConfig::llama31_70b(), tp);
+        let g = server.serve(&Device::gaudi2(), 128, 100, 100);
+        let a = server.serve(&Device::a100(), 128, 100, 100);
+        println!(
+            "{:<12} {:>14.0} {:>14.0} {:>9.2}x",
+            tp,
+            g.total_time_s() * 1e3,
+            a.total_time_s() * 1e3,
+            a.total_time_s() / g.total_time_s(),
+        );
+    }
+    println!("\nnote: Gaudi's P2P fabric gains usable all-reduce bandwidth with");
+    println!("every participating device (§3.4), so its speedup grows with TP degree.");
+    Ok(())
+}

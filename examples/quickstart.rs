@@ -1,0 +1,70 @@
+//! Quickstart: build both modeled devices, run one GEMM and one STREAM
+//! kernel on each, and print a mini roofline.
+//!
+//! ```text
+//! cargo run -p dcm-examples --example quickstart
+//! ```
+
+use dcm_compiler::Device;
+use dcm_core::metrics::format_si;
+use dcm_core::roofline::Roofline;
+use dcm_core::DType;
+use dcm_mme::GemmShape;
+use dcm_tpc::engine::{StreamKernel, VectorEngineModel};
+
+fn main() {
+    let devices = [Device::gaudi2(), Device::a100()];
+    println!("dcm quickstart: one GEMM + one STREAM kernel per device\n");
+
+    for device in &devices {
+        let spec = device.spec();
+        println!("== {} ==", device.name());
+        println!(
+            "  matrix {:>12}  vector {:>12}  HBM {:>10}",
+            format_si(spec.matrix_peak_flops(DType::Bf16), "FLOPS"),
+            format_si(spec.vector_peak_flops(DType::Bf16), "FLOPS"),
+            format_si(spec.hbm_bandwidth(), "B/s"),
+        );
+
+        // A large square GEMM: compute bound on both devices.
+        let shape = GemmShape::square(4096);
+        let run = device.gemm(shape, DType::Bf16);
+        println!(
+            "  GEMM {shape}: {:>10} in {:.0} us using {} ({:.1}% of peak)",
+            format_si(run.achieved_flops(), "FLOPS"),
+            run.cost.time() * 1e6,
+            run.config,
+            100.0 * run.utilization(device.matrix_peak_flops(DType::Bf16)),
+        );
+
+        // STREAM TRIAD over 24M elements: memory bound.
+        let vec_engine = VectorEngineModel::new(spec);
+        let kernel = StreamKernel::triad().with_unroll(4);
+        let cores = vec_engine.cores();
+        let cost = vec_engine.run_cost(&kernel, cores, 24_000_000, DType::Bf16);
+        println!(
+            "  TRIAD 24M:   {:>10} in {:.0} us ({} cores, {:.0}% of HBM bandwidth)",
+            format_si(cost.achieved_flops(), "FLOPS"),
+            cost.time() * 1e6,
+            cores,
+            100.0 * cost.achieved_useful_bandwidth() / spec.hbm_bandwidth(),
+        );
+
+        // Mini roofline: where do these two kernels sit?
+        let roof = Roofline::matrix(spec, DType::Bf16);
+        println!(
+            "  roofline:    ridge at {:.0} FLOP/byte; GEMM OI {:.0} ({:?}), TRIAD OI {:.2} ({:?})\n",
+            roof.ridge(),
+            shape.intensity(DType::Bf16),
+            roof.classify(shape.intensity(DType::Bf16)),
+            kernel.operational_intensity(DType::Bf16),
+            roof.classify(kernel.operational_intensity(DType::Bf16)),
+        );
+    }
+
+    println!("next steps:");
+    println!("  cargo run -p dcm-examples --example recsys_serving");
+    println!("  cargo run -p dcm-examples --example llm_serving");
+    println!("  cargo run -p dcm-examples --example tpc_kernel");
+    println!("  cargo run -p dcm-bench --bin takeaways");
+}

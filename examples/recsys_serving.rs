@@ -1,0 +1,75 @@
+//! RecSys serving: run the RM2 recommendation model on both devices,
+//! comparing the SingleTable and BatchedTable embedding operators and
+//! verifying that both compute identical pooled embeddings.
+//!
+//! ```text
+//! cargo run -p dcm-examples --example recsys_serving
+//! ```
+
+use dcm_compiler::Device;
+use dcm_core::tensor::Tensor;
+use dcm_core::{rng, DType};
+use dcm_embedding::{
+    reference_forward, BatchedTableOp, EmbeddingConfig, EmbeddingOp, LookupBatch, SingleTableOp,
+};
+use dcm_workloads::dlrm::{DlrmConfig, DlrmServer};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("RecSys serving: DLRM RM2, 256-byte FP32 embedding vectors\n");
+
+    // 1. Functional check on a small configuration: SingleTable and
+    //    BatchedTable must produce the exact same pooled embeddings.
+    let mut r = rng::seeded(42);
+    let small = EmbeddingConfig {
+        tables: 6,
+        rows_per_table: 500,
+        dim: 16,
+        dtype: DType::Fp32,
+        pooling: 4,
+    };
+    let tables: Vec<Tensor> = (0..small.tables)
+        .map(|_| Tensor::random([small.rows_per_table, small.dim], small.dtype, &mut r))
+        .collect();
+    let lookup = LookupBatch::random(&small, 8, &mut r);
+    let gaudi = Device::gaudi2();
+    let single = SingleTableOp::optimized(gaudi.spec());
+    let batched = BatchedTableOp::new(gaudi.spec());
+    let expect = reference_forward(&tables, &lookup, &small)?;
+    let (out_single, _) = single.forward(&tables, &lookup, &small)?;
+    let (out_batched, _) = batched.forward(&tables, &lookup, &small)?;
+    assert!(out_single.max_abs_diff(&expect)? < 1e-4);
+    assert!(out_batched.max_abs_diff(&expect)? < 1e-4);
+    println!("functional check: SingleTable == BatchedTable == reference  [ok]\n");
+
+    // 2. End-to-end RM2 serving on both devices with each operator.
+    let cfg = DlrmConfig::rm2(256);
+    let server = DlrmServer::new(cfg);
+    let a100 = Device::a100();
+    println!(
+        "{:<34} {:>12} {:>12} {:>10} {:>10}",
+        "configuration", "latency us", "samples/s", "power W", "J/1k samp"
+    );
+    for batch in [512usize, 4096] {
+        for device in [&gaudi, &a100] {
+            let ops: Vec<Box<dyn EmbeddingOp>> = vec![
+                Box::new(SingleTableOp::optimized(device.spec())),
+                Box::new(BatchedTableOp::new(device.spec())),
+            ];
+            for op in &ops {
+                let run = server.serve(device, op.as_ref(), batch);
+                println!(
+                    "{:<34} {:>12.0} {:>12.0} {:>10.0} {:>10.2}",
+                    format!("{} b{batch}", op.name()),
+                    run.time_s() * 1e6,
+                    run.throughput(batch),
+                    run.power_w,
+                    run.energy_per_sample(batch) * 1e3,
+                );
+            }
+        }
+        println!();
+    }
+    println!("note: BatchedTable's single fused launch keeps the memory system");
+    println!("busy at small batches — the §4.1 case study of the paper.");
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Authoring a custom TPC-C-style kernel: a fused scale-add
+//! (`out[i] = s * a[i] + b[i]`, the TRIAD of Algorithm 1) written against
+//! the `dcm-tpc` kernel API — index-space partitioning, `ld_tnsr` /
+//! `st_tnsr` tensor access, vector MAC, and `#pragma unroll`-style
+//! unrolling, exactly as Figure 2(c) of the paper sketches in TPC-C.
+//!
+//! ```text
+//! cargo run -p dcm-examples --example tpc_kernel
+//! ```
+
+use dcm_core::error::Result;
+use dcm_core::tensor::{Tensor, TensorDesc};
+use dcm_core::{rng, DType, DeviceSpec};
+use dcm_tpc::index_space::{IndexMember, IndexSpace};
+use dcm_tpc::program::{TpcContext, TpcExecutor, TpcProgram, VecReg};
+
+/// One index-space member processes `CHUNK` consecutive elements — sized
+/// at 64 FP32 lanes = 256 bytes, Gaudi's minimum access granularity.
+const CHUNK: usize = 64;
+
+struct TriadKernel {
+    scale: f32,
+    unroll: usize,
+}
+
+impl TpcProgram for TriadKernel {
+    fn run(&self, ctx: &mut TpcContext<'_>, member: IndexMember) -> Result<()> {
+        let offset = member.coord(0) * CHUNK;
+        // Load -> Compute -> Store, the canonical TPC loop body (Fig. 3).
+        let a = ctx.ld_tnsr(0, offset, CHUNK)?;
+        let b = ctx.ld_tnsr(1, offset, CHUNK)?;
+        let s = VecReg::splat(self.scale, CHUNK);
+        let result = ctx.v_mac(&s, &a, &b)?; // b + scale * a
+        ctx.st_tnsr(0, offset, &result)
+    }
+
+    fn unroll(&self) -> usize {
+        self.unroll
+    }
+
+    fn name(&self) -> &str {
+        "triad_tpc"
+    }
+}
+
+fn main() -> Result<()> {
+    let n = 24_000_000 / CHUNK * CHUNK;
+    let mut r = rng::seeded(11);
+    let a = Tensor::random([n], DType::Fp32, &mut r);
+    let b = Tensor::random([n], DType::Fp32, &mut r);
+    let space = IndexSpace::linear(n / CHUNK);
+    let out_desc = TensorDesc::new([n], DType::Fp32);
+
+    println!("custom TPC kernel: out = 2.5 * a + b over {n} elements\n");
+    println!("single core (the Figure 8(b) regime — unrolling hides the 4-cycle latency):");
+    for spec in [DeviceSpec::gaudi2(), DeviceSpec::a100()] {
+        let exec = TpcExecutor::new(&spec).with_max_cores(1);
+        for unroll in [1usize, 4, 8] {
+            let kernel = TriadKernel {
+                scale: 2.5,
+                unroll,
+            };
+            let run = exec.launch(&kernel, &space, &[&a, &b], std::slice::from_ref(&out_desc))?;
+            // Spot-check the functional result.
+            let i = n / 2;
+            let expect = 2.5 * a.data()[i] + b.data()[i];
+            assert!((run.outputs[0].data()[i] - expect).abs() < 1e-5);
+            println!(
+                "  {:<8} unroll {unroll}: {:>6.1} GFLOPS, {:>6.2} ms, {} vector instrs",
+                spec.name,
+                run.cost.achieved_flops() / 1e9,
+                run.cost.time() * 1e3,
+                run.counters.loads + run.counters.computes + run.counters.stores,
+            );
+        }
+    }
+    println!("\nall cores (the chip saturates its HBM bandwidth instead):");
+    for spec in [DeviceSpec::gaudi2(), DeviceSpec::a100()] {
+        let exec = TpcExecutor::new(&spec);
+        let kernel = TriadKernel {
+            scale: 2.5,
+            unroll: 4,
+        };
+        let run = exec.launch(&kernel, &space, &[&a, &b], std::slice::from_ref(&out_desc))?;
+        println!(
+            "  {:<8} unroll 4: {:>6.1} GFLOPS, {:>6.2} ms",
+            spec.name,
+            run.cost.achieved_flops() / 1e9,
+            run.cost.time() * 1e3,
+        );
+    }
+    println!("\nGaudi's 4-cycle instruction latency makes the unroll factor matter on");
+    println!("one TPC; the A100's SIMT multithreading hides it (§2.2, Figure 8(b)).");
+    Ok(())
+}

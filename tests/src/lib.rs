@@ -1,0 +1,6 @@
+//! Host crate for the cross-crate integration tests in `tests/tests/`.
+//!
+//! The integration suite exercises complete paths through the stack:
+//! graph-compiler execution on both devices, embedding operators inside
+//! DLRM serving, paged attention inside the serving engine, and the
+//! directional claims of the paper's key takeaways.

@@ -1,0 +1,115 @@
+//! Full-stack integration: complete serving scenarios from workload
+//! definition through compilation, device execution, paged KV management
+//! and metric reporting, on both devices.
+
+use dcm_compiler::Device;
+use dcm_embedding::{BatchedTableOp, SingleTableOp};
+use dcm_vllm::attention::PagedBackend;
+use dcm_vllm::dataset::SyntheticDataset;
+use dcm_vllm::engine::ServingEngine;
+use dcm_workloads::dlrm::{DlrmConfig, DlrmServer};
+use dcm_workloads::llama::{LlamaConfig, LlamaServer};
+
+#[test]
+fn dynamic_trace_completes_on_both_devices() {
+    let trace = SyntheticDataset::dynamic_sonnet(12, 99);
+    let expected_tokens: usize = trace.iter().map(|r| r.output_len).sum();
+    for (device, backend) in [
+        (Device::gaudi2(), PagedBackend::GaudiOpt),
+        (Device::a100(), PagedBackend::A100Fused),
+    ] {
+        let mut engine =
+            ServingEngine::new(&device, LlamaConfig::llama31_8b(), 1, backend, 8);
+        let report = engine.run(&trace).expect("trace fits on 80+ GB devices");
+        assert_eq!(report.completed, trace.len(), "{}", device.name());
+        assert_eq!(report.total_output_tokens, expected_tokens);
+        assert!(report.mean_ttft_s > 0.0 && report.mean_tpot_s > 0.0);
+        // TTFT >= one prefill; TPOT >= one decode step's attention share.
+        assert!(report.mean_ttft_s < report.total_time_s);
+    }
+}
+
+#[test]
+fn serving_metrics_follow_batch_knob() {
+    // Figure 17(d,e) directionally: throughput and TTFT both grow with the
+    // max decode batch; TPOT grows too.
+    let trace = SyntheticDataset::dynamic_sonnet(20, 5);
+    let gaudi = Device::gaudi2();
+    let run = |mb: usize| {
+        ServingEngine::new(&gaudi, LlamaConfig::llama31_8b(), 1, PagedBackend::GaudiOpt, mb)
+            .run(&trace)
+            .expect("fits")
+    };
+    let small = run(2);
+    let large = run(16);
+    assert!(large.throughput_tps > small.throughput_tps);
+    assert!(large.mean_tpot_s > small.mean_tpot_s);
+}
+
+#[test]
+fn recsys_full_path_single_vs_batched_vs_devices() {
+    // Complete RecSys path on both devices with both operators; the
+    // ordering constraints of §4.1 hold end to end.
+    let cfg = DlrmConfig::rm2(128);
+    let server = DlrmServer::new(cfg);
+    let gaudi = Device::gaudi2();
+    let a100 = Device::a100();
+    let batch = 2048;
+    let g_single = server.serve(&gaudi, &SingleTableOp::optimized(gaudi.spec()), batch);
+    let g_batched = server.serve(&gaudi, &BatchedTableOp::new(gaudi.spec()), batch);
+    let g_sdk = server.serve(&gaudi, &SingleTableOp::sdk(gaudi.spec()), batch);
+    let a_batched = server.serve(&a100, &BatchedTableOp::new(a100.spec()), batch);
+    // SDK < optimized SingleTable < BatchedTable, and A100 wins at 128 B.
+    assert!(g_batched.time_s() <= g_single.time_s());
+    assert!(g_single.time_s() < g_sdk.time_s());
+    assert!(a_batched.time_s() < g_batched.time_s());
+}
+
+#[test]
+fn llama_scaling_matrix() {
+    // 70B across 2/4/8 devices: more devices = faster on both platforms,
+    // with per-device memory requirements shrinking.
+    for device in [Device::gaudi2(), Device::a100()] {
+        let mut prev = f64::INFINITY;
+        for tp in [2usize, 4, 8] {
+            let server = LlamaServer::new(LlamaConfig::llama31_70b(), tp);
+            let run = server.serve(&device, 32, 100, 50);
+            assert!(
+                run.total_time_s() < prev,
+                "{} tp{tp}: {} >= {prev}",
+                device.name(),
+                run.total_time_s()
+            );
+            prev = run.total_time_s();
+        }
+    }
+}
+
+#[test]
+fn seventy_b_does_not_fit_one_a100_kv_budget() {
+    // 70B BF16 weights are ~141 GB: the serving engine must refuse a
+    // single 80 GB A100 but accept 8-way sharding.
+    let a100 = Device::a100();
+    let mut single =
+        ServingEngine::new(&a100, LlamaConfig::llama31_70b(), 1, PagedBackend::A100Fused, 4);
+    let trace = SyntheticDataset::fixed(2, 128, 8);
+    assert!(single.run(&trace).is_err(), "70B cannot fit one A100");
+    let mut sharded =
+        ServingEngine::new(&a100, LlamaConfig::llama31_70b(), 8, PagedBackend::A100Fused, 4);
+    assert!(sharded.run(&trace).is_ok(), "70B fits 8-way");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    // Same seed, same trace, bit-identical reports: the whole stack is
+    // deterministic (DESIGN.md requirement for reproducible figures).
+    let trace = SyntheticDataset::dynamic_sonnet(10, 123);
+    let gaudi = Device::gaudi2();
+    let mut e1 =
+        ServingEngine::new(&gaudi, LlamaConfig::llama31_8b(), 1, PagedBackend::GaudiOpt, 8);
+    let mut e2 =
+        ServingEngine::new(&gaudi, LlamaConfig::llama31_8b(), 1, PagedBackend::GaudiOpt, 8);
+    let r1 = e1.run(&trace).expect("fits");
+    let r2 = e2.run(&trace).expect("fits");
+    assert_eq!(r1, r2);
+}

@@ -1,0 +1,123 @@
+//! Cross-validation between the two TPC timing paths: the closed-form
+//! analytic model (`dcm_tpc::engine`, used for Figure 8) and the
+//! trace-driven VLIW scheduler (`dcm_tpc::program` + `dcm_tpc::vliw`, used
+//! for DSL kernels). Both model the same machine, so they must agree on
+//! levels within a factor and on every trend.
+
+use dcm_core::tensor::{Tensor, TensorDesc};
+use dcm_core::{rng, DType, DeviceSpec};
+use dcm_tpc::engine::{StreamKernel, VectorEngineModel};
+use dcm_tpc::index_space::{IndexMember, IndexSpace};
+use dcm_tpc::program::{TpcContext, TpcExecutor, TpcProgram, VecReg};
+
+const CHUNK: usize = 64; // 256 B of FP32
+
+struct Triad {
+    unroll: usize,
+}
+
+impl TpcProgram for Triad {
+    fn run(&self, ctx: &mut TpcContext<'_>, m: IndexMember) -> dcm_core::Result<()> {
+        let off = m.coord(0) * CHUNK;
+        let a = ctx.ld_tnsr(0, off, CHUNK)?;
+        let b = ctx.ld_tnsr(1, off, CHUNK)?;
+        let s = VecReg::splat(3.0, CHUNK);
+        let r = ctx.v_mac(&s, &a, &b)?;
+        ctx.st_tnsr(0, off, &r)
+    }
+
+    fn unroll(&self) -> usize {
+        self.unroll
+    }
+}
+
+fn dsl_throughput(spec: &DeviceSpec, elems: usize, unroll: usize, cores: usize) -> f64 {
+    let mut r = rng::seeded(1);
+    let a = Tensor::random([elems], DType::Fp32, &mut r);
+    let b = Tensor::random([elems], DType::Fp32, &mut r);
+    let exec = TpcExecutor::new(spec).with_max_cores(cores);
+    let run = exec
+        .launch(
+            &Triad { unroll },
+            &IndexSpace::linear(elems / CHUNK),
+            &[&a, &b],
+            &[TensorDesc::new([elems], DType::Fp32)],
+        )
+        .expect("kernel runs");
+    run.cost.achieved_flops()
+}
+
+#[test]
+fn analytic_and_trace_models_agree_on_levels() {
+    // Single Gaudi TPC, FP32 TRIAD at 256 B granularity, unroll 4: the two
+    // paths must land within 2x of each other (they differ in chain
+    // detail, not in mechanism).
+    let spec = DeviceSpec::gaudi2();
+    let analytic = VectorEngineModel::new(&spec).single_core_throughput(
+        &StreamKernel::triad().with_unroll(4),
+        DType::Fp32,
+    );
+    let traced = dsl_throughput(&spec, 1 << 18, 4, 1);
+    let ratio = traced / analytic;
+    assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+}
+
+#[test]
+fn both_models_show_the_unroll_trend_on_gaudi_only() {
+    let gaudi = DeviceSpec::gaudi2();
+    let a100 = DeviceSpec::a100();
+    // Analytic.
+    let eng = VectorEngineModel::new(&gaudi);
+    let a1 = eng.single_core_throughput(&StreamKernel::triad().with_unroll(1), DType::Fp32);
+    let a4 = eng.single_core_throughput(&StreamKernel::triad().with_unroll(4), DType::Fp32);
+    assert!(a4 > a1 * 1.05, "analytic unroll trend: {a1} -> {a4}");
+    // Trace-driven.
+    let t1 = dsl_throughput(&gaudi, 1 << 16, 1, 1);
+    let t4 = dsl_throughput(&gaudi, 1 << 16, 4, 1);
+    assert!(t4 > t1 * 1.05, "traced unroll trend: {t1} -> {t4}");
+    // SIMT core: flat in both models.
+    let s1 = dsl_throughput(&a100, 1 << 16, 1, 1);
+    let s4 = dsl_throughput(&a100, 1 << 16, 4, 1);
+    assert!((s4 / s1 - 1.0).abs() < 1e-9, "simt should be flat: {s1} vs {s4}");
+}
+
+#[test]
+fn both_models_saturate_at_chip_bandwidth() {
+    // All cores, large array: both paths pin at the HBM ceiling, so they
+    // must agree closely there.
+    let spec = DeviceSpec::gaudi2();
+    let analytic = VectorEngineModel::new(&spec).throughput(
+        &StreamKernel::triad().with_unroll(4),
+        24,
+        DType::Fp32,
+    );
+    let traced = dsl_throughput(&spec, 1 << 22, 4, 24);
+    let ratio = traced / analytic;
+    assert!(ratio > 0.7 && ratio < 1.4, "chip-level ratio {ratio}");
+}
+
+#[test]
+fn trace_scheduler_is_insensitive_to_functional_values() {
+    // Timing depends on structure, not data: two different inputs give
+    // identical costs.
+    let spec = DeviceSpec::gaudi2();
+    let elems = 1 << 14;
+    let run = |seed: u64| {
+        let mut r = rng::seeded(seed);
+        let a = Tensor::random([elems], DType::Fp32, &mut r);
+        let b = Tensor::random([elems], DType::Fp32, &mut r);
+        let exec = TpcExecutor::new(&spec);
+        exec.launch(
+            &Triad { unroll: 4 },
+            &IndexSpace::linear(elems / CHUNK),
+            &[&a, &b],
+            &[TensorDesc::new([elems], DType::Fp32)],
+        )
+        .expect("runs")
+        .cost
+    };
+    let c1 = run(1);
+    let c2 = run(999);
+    assert!((c1.time() - c2.time()).abs() < 1e-15);
+    assert_eq!(c1.bus_bytes, c2.bus_bytes);
+}
