@@ -11,6 +11,9 @@ use dcm_core::metrics::Heatmap;
 use dcm_embedding::{BatchedTableOp, EmbeddingConfig, EmbeddingOp};
 use dcm_mem::GatherScatterEngine;
 use dcm_vllm::attention::{PagedAttention, PagedBackend};
+use dcm_vllm::cluster::{Cluster, RoutingPolicy};
+use dcm_vllm::dataset::{ArrivalProcess, SyntheticDataset};
+use dcm_vllm::engine::ServingEngine;
 use dcm_workloads::dlrm::{DlrmConfig, DlrmServer};
 use dcm_workloads::llama::{LlamaConfig, LlamaServer};
 use std::fs;
@@ -137,6 +140,65 @@ fn main() {
         );
     }
     write_csv(dir, "fig17a_vllm_speedup", &vllm);
+
+    // Online serving extension: achieved throughput and p99 TTFT versus
+    // offered load x replica count (Gaudi-2 vLLMopt, JSQ routing) — the
+    // curves behind `ext_online_serving`.
+    let load_factors = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
+    let replica_counts = [1usize, 2, 4, 8];
+    let per_replica_trace = 64;
+    let seed = 2026;
+    let offline = SyntheticDataset::dynamic_sonnet(per_replica_trace, seed);
+    let capacity_rps = {
+        let r = ServingEngine::new(&gaudi, model.clone(), 1, PagedBackend::GaudiOpt, 16)
+            .run(&offline)
+            .expect("offline trace fits");
+        let mean_out: f64 = offline.iter().map(|q| q.output_len as f64).sum::<f64>()
+            / offline.len() as f64;
+        r.throughput_tps / mean_out
+    };
+    let mut online_tput = Heatmap::new(
+        "ext online serving: achieved throughput (tokens/s)",
+        "load_factor",
+        "replicas",
+        replica_counts.iter().map(|r| r.to_string()).collect(),
+    );
+    let mut online_p99 = Heatmap::new(
+        "ext online serving: p99 TTFT (s)",
+        "load_factor",
+        "replicas",
+        replica_counts.iter().map(|r| r.to_string()).collect(),
+    );
+    for &load in &load_factors {
+        let mut tput_row = Vec::new();
+        let mut p99_row = Vec::new();
+        for &replicas in &replica_counts {
+            let trace = SyntheticDataset::dynamic_sonnet_online(
+                per_replica_trace * replicas,
+                seed,
+                &ArrivalProcess::Poisson {
+                    rate_rps: load * capacity_rps * replicas as f64,
+                },
+            );
+            let report = Cluster::homogeneous(
+                &gaudi,
+                &model,
+                1,
+                PagedBackend::GaudiOpt,
+                16,
+                replicas,
+                RoutingPolicy::JoinShortestQueue,
+            )
+            .run(&trace)
+            .expect("online trace fits");
+            tput_row.push(report.serving.throughput_tps);
+            p99_row.push(report.serving.p99_ttft_s);
+        }
+        online_tput.push_row(format!("{load:.2}"), tput_row);
+        online_p99.push_row(format!("{load:.2}"), p99_row);
+    }
+    write_csv(dir, "ext_online_throughput", &online_tput);
+    write_csv(dir, "ext_online_p99_ttft", &online_p99);
 
     println!("\nall CSVs written to results/");
 }

@@ -18,6 +18,7 @@
 //! | `fig13_llm_energy` | Figure 13 (LLM energy efficiency) |
 //! | `fig15_embedding` | Figure 15 (embedding-lookup bandwidth) |
 //! | `fig17_vllm` | Figure 17 (PagedAttention + serving) |
+//! | `ext_online_serving` | extension: online multi-replica serving sweep |
 //! | `takeaways` | Key takeaways #1–#7 (directional checks) |
 
 use dcm_core::metrics::Table;

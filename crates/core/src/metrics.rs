@@ -68,6 +68,100 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     v[rank.min(v.len() - 1)]
 }
 
+/// A streaming recorder of latency (or any scalar) samples with exact
+/// quantiles — the backing store for the serving layer's p50/p95/p99 TTFT
+/// and TPOT numbers.
+///
+/// Samples are kept verbatim (one `f64` each; serving traces are at most a
+/// few thousand requests) and sorted lazily, so quantiles are *exact* and
+/// runs are bit-reproducible. Recorders from replica shards can be
+/// [`merged`](Self::merge) into a cluster-wide distribution.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    ///
+    /// # Panics
+    /// Panics on a NaN sample — quantiles would be meaningless.
+    pub fn record(&mut self, sample: f64) {
+        assert!(!sample.is_nan(), "cannot record NaN");
+        self.samples.push(sample);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        mean(&self.samples)
+    }
+
+    /// Largest sample; 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        max(&self.samples)
+    }
+
+    /// Exact quantile by nearest rank, `p` in `0..=100`; 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        percentile(&self.samples, p)
+    }
+
+    /// The (p50, p95, p99) triple most figures report.
+    #[must_use]
+    pub fn summary(&self) -> (f64, f64, f64) {
+        (self.quantile(50.0), self.quantile(95.0), self.quantile(99.0))
+    }
+
+    /// Absorb all samples of `other`.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Evenly-spaced histogram over `[min, max]` with `bins` buckets,
+    /// returned as `(bucket_lower_edge, count)` pairs. Empty recorder or
+    /// zero `bins` yields an empty vec.
+    #[must_use]
+    pub fn histogram(&self, bins: usize) -> Vec<(f64, usize)> {
+        if self.samples.is_empty() || bins == 0 {
+            return Vec::new();
+        }
+        let lo = min(&self.samples);
+        let hi = max(&self.samples);
+        let width = ((hi - lo) / bins as f64).max(f64::MIN_POSITIVE);
+        let mut counts = vec![0usize; bins];
+        for &s in &self.samples {
+            let idx = (((s - lo) / width) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (lo + i as f64 * width, c))
+            .collect()
+    }
+}
+
 /// Format a value with an SI suffix, e.g. `format_si(2.45e12, "B/s")` =>
 /// `"2.45 TB/s"`.
 #[must_use]
@@ -369,6 +463,81 @@ mod tests {
         assert_eq!(percentile(&xs, 50.0), 3.0);
         assert_eq!(percentile(&xs, 100.0), 5.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn recorder_quantiles_are_exact_on_known_distributions() {
+        // 1..=100 uniformly: nearest-rank quantiles are exactly computable.
+        let mut r = LatencyRecorder::new();
+        for v in (1..=100).rev() {
+            r.record(f64::from(v));
+        }
+        assert_eq!(r.count(), 100);
+        assert_eq!(r.quantile(0.0), 1.0);
+        // rank = round(p/100 * 99): p50 -> index 50 -> value 51.
+        assert_eq!(r.quantile(50.0), 51.0);
+        assert_eq!(r.quantile(95.0), 95.0);
+        assert_eq!(r.quantile(99.0), 99.0);
+        assert_eq!(r.quantile(100.0), 100.0);
+        assert_eq!(r.max(), 100.0);
+        assert!((r.mean() - 50.5).abs() < 1e-12);
+        let (p50, p95, p99) = r.summary();
+        assert_eq!((p50, p95, p99), (51.0, 95.0, 99.0));
+        // Two-point distribution: quantiles snap to the nearest sample.
+        let mut two = LatencyRecorder::new();
+        two.record(1.0);
+        two.record(9.0);
+        assert_eq!(two.quantile(49.0), 1.0);
+        assert_eq!(two.quantile(51.0), 9.0);
+    }
+
+    #[test]
+    fn recorder_empty_and_merge() {
+        let empty = LatencyRecorder::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.quantile(99.0), 0.0);
+        assert_eq!(empty.mean(), 0.0);
+        assert!(empty.histogram(4).is_empty());
+
+        let mut a = LatencyRecorder::new();
+        a.record(1.0);
+        a.record(2.0);
+        let mut b = LatencyRecorder::new();
+        b.record(3.0);
+        b.record(4.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.quantile(100.0), 4.0);
+        assert!((a.mean() - 2.5).abs() < 1e-12);
+        a.merge(&empty);
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn recorder_histogram_covers_all_samples() {
+        let mut r = LatencyRecorder::new();
+        for v in 0..10 {
+            r.record(f64::from(v));
+        }
+        let hist = r.histogram(3);
+        assert_eq!(hist.len(), 3);
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 10);
+        // Edges ascend from the minimum sample.
+        assert_eq!(hist[0].0, 0.0);
+        assert!(hist.windows(2).all(|w| w[0].0 < w[1].0));
+        // A constant distribution lands in one bucket.
+        let mut flat = LatencyRecorder::new();
+        flat.record(5.0);
+        flat.record(5.0);
+        let h = flat.histogram(4);
+        assert_eq!(h.iter().map(|&(_, c)| c).sum::<usize>(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn recorder_rejects_nan() {
+        LatencyRecorder::new().record(f64::NAN);
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! Multi-replica online serving: a router dispatching an arrival stream
+//! across N independent serving engines on one shared simulated clock.
+//!
+//! Production LLM serving replicates the model across device groups and
+//! load-balances incoming requests; tail latency then depends as much on
+//! the routing policy as on the single-engine scheduler. This module
+//! models that layer for the paper's serving study: each replica is a
+//! full [`ServingEngine`] (its own KV cache, continuous-batching
+//! scheduler and preemption behaviour), and the [`Cluster`] replays a
+//! trace in global arrival order, advancing every replica's simulation to
+//! each arrival instant before routing it.
+//!
+//! Three classic policies are modeled:
+//!
+//! * [`RoutingPolicy::RoundRobin`] — arrival-order striping, oblivious to
+//!   load. The baseline every serving paper compares against.
+//! * [`RoutingPolicy::JoinShortestQueue`] — route to the replica with the
+//!   fewest requests in flight (queued + active).
+//! * [`RoutingPolicy::LeastLoadedKv`] — route to the replica with the
+//!   most free KV-cache blocks, the signal vLLM-style engines actually
+//!   bottleneck on (memory-bound batching, §4.2 of the paper).
+//!
+//! Determinism: replicas are advanced and ties broken in replica-index
+//! order, and every engine is seeded purely by the trace, so a given
+//! (trace, policy, replica count) replays bit-identically.
+
+use crate::dataset::Request;
+use crate::engine::{ServingEngine, ServingReport, SimState};
+use dcm_core::error::{DcmError, Result};
+use dcm_core::metrics::LatencyRecorder;
+use serde::{Deserialize, Serialize};
+
+/// How the cluster assigns an arriving request to a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Stripe arrivals across replicas in order, ignoring load.
+    RoundRobin,
+    /// Send each arrival to the replica with the fewest requests in the
+    /// system (pending + ready + active); ties go to the lowest index.
+    JoinShortestQueue,
+    /// Send each arrival to the replica with the lowest fraction of KV
+    /// blocks in use; ties go to the lowest index.
+    LeastLoadedKv,
+}
+
+impl RoutingPolicy {
+    /// Short stable name for CSV export and plot legends.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round_robin",
+            RoutingPolicy::JoinShortestQueue => "jsq",
+            RoutingPolicy::LeastLoadedKv => "least_kv",
+        }
+    }
+}
+
+/// Per-replica accounting of one cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaStats {
+    /// Requests routed to this replica.
+    pub dispatched: usize,
+    /// Requests it completed (equals `dispatched` on a drained run).
+    pub completed: usize,
+    /// Output tokens it produced.
+    pub output_tokens: usize,
+    /// Time it spent executing prefill or decode steps.
+    pub busy_s: f64,
+    /// `busy_s` over the cluster's total span — the replica's duty cycle.
+    pub utilization: f64,
+    /// Recompute-mode preemptions on this replica.
+    pub preemptions: usize,
+}
+
+/// Aggregate result of one cluster run: cluster-wide serving metrics plus
+/// the per-replica breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Cluster-wide metrics, directly comparable to a single-engine
+    /// [`ServingReport`]: latency percentiles pool every request's
+    /// samples, throughput divides total tokens by the span of the
+    /// longest-running replica.
+    pub serving: ServingReport,
+    /// One entry per replica, in replica-index order.
+    pub per_replica: Vec<ReplicaStats>,
+    /// The routing policy that produced this run.
+    pub policy: RoutingPolicy,
+}
+
+impl ClusterReport {
+    /// Mean of the per-replica duty cycles.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.per_replica.is_empty() {
+            return 0.0;
+        }
+        self.per_replica.iter().map(|r| r.utilization).sum::<f64>()
+            / self.per_replica.len() as f64
+    }
+
+    /// Largest relative spread in dispatched requests across replicas —
+    /// 0.0 is a perfectly even split.
+    #[must_use]
+    pub fn dispatch_imbalance(&self) -> f64 {
+        let max = self.per_replica.iter().map(|r| r.dispatched).max().unwrap_or(0);
+        let min = self.per_replica.iter().map(|r| r.dispatched).min().unwrap_or(0);
+        if max == 0 {
+            0.0
+        } else {
+            (max - min) as f64 / max as f64
+        }
+    }
+}
+
+/// A router over N replica [`ServingEngine`]s sharing one simulated clock.
+pub struct Cluster {
+    replicas: Vec<ServingEngine>,
+    policy: RoutingPolicy,
+}
+
+impl Cluster {
+    /// Build a cluster from pre-configured engines (replicas may be
+    /// heterogeneous — e.g. different devices or batch caps).
+    ///
+    /// # Panics
+    /// Panics if `replicas` is empty.
+    #[must_use]
+    pub fn new(replicas: Vec<ServingEngine>, policy: RoutingPolicy) -> Self {
+        assert!(!replicas.is_empty(), "cluster needs at least one replica");
+        Cluster { replicas, policy }
+    }
+
+    /// Build `n` identical replicas, mirroring [`ServingEngine::new`].
+    ///
+    /// # Panics
+    /// Panics if `n` or `max_decode_batch` is zero, or `tp` does not
+    /// divide the model's query heads.
+    #[must_use]
+    pub fn homogeneous(
+        device: &dcm_compiler::Device,
+        model: &dcm_workloads::llama::LlamaConfig,
+        tp: usize,
+        backend: crate::attention::PagedBackend,
+        max_decode_batch: usize,
+        n: usize,
+        policy: RoutingPolicy,
+    ) -> Self {
+        assert!(n > 0, "cluster needs at least one replica");
+        let replicas = (0..n)
+            .map(|_| ServingEngine::new(device, model.clone(), tp, backend, max_decode_batch))
+            .collect();
+        Cluster { replicas, policy }
+    }
+
+    /// Cap every replica's KV cache at `blocks` blocks (see
+    /// [`ServingEngine::with_kv_blocks`]).
+    #[must_use]
+    pub fn with_kv_blocks(mut self, blocks: usize) -> Self {
+        self.replicas = self
+            .replicas
+            .into_iter()
+            .map(|e| e.with_kv_blocks(blocks))
+            .collect();
+        self
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the cluster has no replicas (never true after `new`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    fn route(&self, sims: &[SimState], rr_next: usize) -> usize {
+        match self.policy {
+            RoutingPolicy::RoundRobin => rr_next % sims.len(),
+            RoutingPolicy::JoinShortestQueue => sims
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.queue_depth())
+                .map(|(i, _)| i)
+                .expect("non-empty cluster"),
+            RoutingPolicy::LeastLoadedKv => sims
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.kv_used_fraction().total_cmp(&b.kv_used_fraction())
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty cluster"),
+        }
+    }
+
+    /// Serve `requests` across the replicas to completion.
+    ///
+    /// The trace is replayed in global arrival order. At each arrival
+    /// every replica's simulation is advanced to the arrival instant (so
+    /// routing decisions observe the state the replica would really have
+    /// at that time), the policy picks a replica, and the request joins
+    /// its queue. After the last arrival every replica drains.
+    ///
+    /// With one replica and an all-zero-arrival trace this is exactly
+    /// [`ServingEngine::run`] — the offline Figure 17 path.
+    ///
+    /// # Errors
+    /// Returns [`DcmError::InvalidConfig`] for an empty trace and
+    /// propagates any replica error (e.g. a request exceeding a
+    /// replica's KV capacity).
+    pub fn run(&mut self, requests: &[Request]) -> Result<ClusterReport> {
+        if requests.is_empty() {
+            return Err(DcmError::InvalidConfig("empty request trace".to_owned()));
+        }
+        let mut ordered: Vec<Request> = requests.to_vec();
+        ordered.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+
+        let mut sims: Vec<SimState> = self
+            .replicas
+            .iter()
+            .map(ServingEngine::make_sim)
+            .collect::<Result<_>>()?;
+        let mut dispatched = vec![0usize; sims.len()];
+
+        for (k, r) in ordered.into_iter().enumerate() {
+            for (engine, sim) in self.replicas.iter_mut().zip(sims.iter_mut()) {
+                engine.sim_advance(sim, r.arrival_s)?;
+            }
+            let target = self.route(&sims, k);
+            dispatched[target] += 1;
+            sims[target].enqueue(r);
+        }
+        for (engine, sim) in self.replicas.iter_mut().zip(sims.iter_mut()) {
+            engine.sim_advance(sim, f64::INFINITY)?;
+            debug_assert!(sim.is_drained(), "drained run left work behind");
+        }
+
+        Ok(self.aggregate(&sims, &dispatched))
+    }
+
+    fn aggregate(&self, sims: &[SimState], dispatched: &[usize]) -> ClusterReport {
+        let total_time_s = sims
+            .iter()
+            .map(SimState::now)
+            .fold(0.0_f64, f64::max);
+        let mut ttft = LatencyRecorder::new();
+        let mut tpot = LatencyRecorder::new();
+        let mut queue_delay = LatencyRecorder::new();
+        let mut completed = 0;
+        let mut total_output = 0;
+        let mut peak_batch = 0;
+        let mut preemptions = 0;
+        let mut per_replica = Vec::with_capacity(sims.len());
+        for (sim, &n) in sims.iter().zip(dispatched) {
+            ttft.merge(&sim.ttft);
+            tpot.merge(&sim.tpot);
+            queue_delay.merge(&sim.queue_delay);
+            completed += sim.completed();
+            total_output += sim.total_output_tokens();
+            peak_batch = peak_batch.max(sim.peak_batch());
+            preemptions += sim.preemptions();
+            per_replica.push(ReplicaStats {
+                dispatched: n,
+                completed: sim.completed(),
+                output_tokens: sim.total_output_tokens(),
+                busy_s: sim.busy_s,
+                utilization: if total_time_s > 0.0 {
+                    sim.busy_s / total_time_s
+                } else {
+                    0.0
+                },
+                preemptions: sim.preemptions(),
+            });
+        }
+        let (p50_ttft_s, p95_ttft_s, p99_ttft_s) = ttft.summary();
+        let (p50_tpot_s, p95_tpot_s, p99_tpot_s) = tpot.summary();
+        let serving = ServingReport {
+            completed,
+            total_output_tokens: total_output,
+            total_time_s,
+            throughput_tps: total_output as f64 / total_time_s,
+            mean_ttft_s: ttft.mean(),
+            mean_tpot_s: tpot.mean(),
+            p50_ttft_s,
+            p95_ttft_s,
+            p99_ttft_s,
+            p50_tpot_s,
+            p95_tpot_s,
+            p99_tpot_s,
+            mean_queue_delay_s: queue_delay.mean(),
+            p99_queue_delay_s: queue_delay.quantile(99.0),
+            peak_batch,
+            preemptions,
+        };
+        ClusterReport {
+            serving,
+            per_replica,
+            policy: self.policy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attention::PagedBackend;
+    use crate::dataset::{ArrivalProcess, SyntheticDataset};
+    use dcm_compiler::Device;
+    use dcm_workloads::llama::LlamaConfig;
+
+    fn cluster(n: usize, policy: RoutingPolicy) -> Cluster {
+        Cluster::homogeneous(
+            &Device::gaudi2(),
+            &LlamaConfig::llama31_8b(),
+            1,
+            PagedBackend::GaudiOpt,
+            8,
+            n,
+            policy,
+        )
+    }
+
+    fn online_trace(n: usize, seed: u64, rate: f64) -> Vec<crate::dataset::Request> {
+        SyntheticDataset::dynamic_sonnet_online(
+            n,
+            seed,
+            &ArrivalProcess::Poisson { rate_rps: rate },
+        )
+    }
+
+    #[test]
+    fn single_replica_offline_cluster_matches_engine() {
+        // The cluster with one replica and an all-zero trace must be the
+        // offline engine, bit for bit.
+        let reqs = SyntheticDataset::dynamic_sonnet(16, 21);
+        let mut engine = crate::engine::ServingEngine::new(
+            &Device::gaudi2(),
+            LlamaConfig::llama31_8b(),
+            1,
+            PagedBackend::GaudiOpt,
+            8,
+        );
+        let solo = engine.run(&reqs).unwrap();
+        let report = cluster(1, RoutingPolicy::RoundRobin).run(&reqs).unwrap();
+        assert_eq!(report.serving, solo);
+        assert_eq!(report.per_replica[0].dispatched, 16);
+        assert_eq!(report.per_replica[0].completed, 16);
+    }
+
+    #[test]
+    fn round_robin_stripes_evenly() {
+        let reqs = online_trace(24, 4, 5.0);
+        let report = cluster(4, RoutingPolicy::RoundRobin).run(&reqs).unwrap();
+        for r in &report.per_replica {
+            assert_eq!(r.dispatched, 6);
+            assert_eq!(r.completed, 6);
+        }
+        assert_eq!(report.serving.completed, 24);
+        assert!((report.dispatch_imbalance() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn all_policies_conserve_tokens() {
+        let reqs = online_trace(20, 6, 8.0);
+        let expected: usize = reqs.iter().map(|r| r.output_len).sum();
+        for policy in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::JoinShortestQueue,
+            RoutingPolicy::LeastLoadedKv,
+        ] {
+            let report = cluster(3, policy).run(&reqs).unwrap();
+            assert_eq!(report.serving.completed, 20, "{policy:?}");
+            assert_eq!(report.serving.total_output_tokens, expected, "{policy:?}");
+            let by_replica: usize =
+                report.per_replica.iter().map(|r| r.output_tokens).sum();
+            assert_eq!(by_replica, expected, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn jsq_routes_around_a_long_job() {
+        // One giant request at t=0 pins a replica. The short requests are
+        // spaced so each finishes before the next arrives: the idle
+        // replica's queue is empty at every arrival, so JSQ sends every
+        // short there, while round-robin blindly alternates onto the
+        // pinned replica.
+        let mut reqs = vec![crate::dataset::Request::new(0, 1024, 4000)];
+        for i in 1..9 {
+            reqs.push(
+                crate::dataset::Request::new(i, 128, 32)
+                    .with_arrival(i as f64 * 2.0),
+            );
+        }
+        let jsq = cluster(2, RoutingPolicy::JoinShortestQueue)
+            .run(&reqs)
+            .unwrap();
+        let rr = cluster(2, RoutingPolicy::RoundRobin).run(&reqs).unwrap();
+        // JSQ piles the burst onto the idle replica (1 vs 8 split is more
+        // imbalanced in dispatch count but balanced in load).
+        assert!(jsq.dispatch_imbalance() > rr.dispatch_imbalance());
+        // ...and the burst's latency tail is no worse for it.
+        assert!(jsq.serving.p99_ttft_s <= rr.serving.p99_ttft_s * 1.5);
+    }
+
+    #[test]
+    fn more_replicas_cut_tail_latency_under_load() {
+        // Offered load past a single replica's capacity: adding replicas
+        // must shorten the span and the TTFT tail.
+        let reqs = online_trace(32, 9, 20.0);
+        let one = cluster(1, RoutingPolicy::JoinShortestQueue)
+            .run(&reqs)
+            .unwrap();
+        let four = cluster(4, RoutingPolicy::JoinShortestQueue)
+            .run(&reqs)
+            .unwrap();
+        assert!(four.serving.total_time_s < one.serving.total_time_s);
+        assert!(four.serving.p99_ttft_s < one.serving.p99_ttft_s);
+        assert!(four.serving.throughput_tps > one.serving.throughput_tps);
+    }
+
+    #[test]
+    fn utilization_is_a_duty_cycle() {
+        let reqs = online_trace(16, 13, 4.0);
+        let report = cluster(2, RoutingPolicy::LeastLoadedKv).run(&reqs).unwrap();
+        for r in &report.per_replica {
+            assert!(r.utilization >= 0.0 && r.utilization <= 1.0, "{r:?}");
+            assert!(r.busy_s <= report.serving.total_time_s + 1e-9);
+        }
+        assert!(report.mean_utilization() > 0.0);
+    }
+
+    #[test]
+    fn seeded_cluster_runs_are_bit_identical() {
+        // Determinism regression: same seed, same trace, same cluster →
+        // the full report (every f64 included) must match exactly.
+        let a_trace = online_trace(24, 17, 10.0);
+        let b_trace = online_trace(24, 17, 10.0);
+        assert_eq!(a_trace, b_trace);
+        let a = cluster(4, RoutingPolicy::JoinShortestQueue)
+            .run(&a_trace)
+            .unwrap();
+        let b = cluster(4, RoutingPolicy::JoinShortestQueue)
+            .run(&b_trace)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_trace_is_an_error() {
+        assert!(cluster(2, RoutingPolicy::RoundRobin).run(&[]).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_replicas_are_supported() {
+        // A Gaudi-2 and an A100 replica behind one router.
+        let engines = vec![
+            crate::engine::ServingEngine::new(
+                &Device::gaudi2(),
+                LlamaConfig::llama31_8b(),
+                1,
+                PagedBackend::GaudiOpt,
+                8,
+            ),
+            crate::engine::ServingEngine::new(
+                &Device::a100(),
+                LlamaConfig::llama31_8b(),
+                1,
+                PagedBackend::A100Fused,
+                8,
+            ),
+        ];
+        let reqs = online_trace(12, 23, 6.0);
+        let expected: usize = reqs.iter().map(|r| r.output_len).sum();
+        let report = Cluster::new(engines, RoutingPolicy::JoinShortestQueue)
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(report.serving.total_output_tokens, expected);
+    }
+}

@@ -14,9 +14,16 @@
 //!   unpipelined), `GaudiOpt` (single batched gather, effectual blocks
 //!   only, MME/TPC pipelined) and `A100Fused` (the CUDA kernel that reads
 //!   blocks in-kernel). Drives Figure 17(a–c).
-//! * [`dataset`] — a Dynamic-Sonnet-like synthetic request trace [13].
+//! * [`dataset`] — a Dynamic-Sonnet-like synthetic request trace [13],
+//!   with seeded arrival processes (Poisson, bursty, trace-driven) for
+//!   online serving.
 //! * [`engine`] — a continuous-batching serving engine with TTFT/TPOT
-//!   accounting, driving Figure 17(d,e).
+//!   accounting (mean and p50/p95/p99 tails), driving Figure 17(d,e);
+//!   arrival-aware, with the offline experiment as the all-zero-arrival
+//!   special case.
+//! * [`cluster`] — a multi-replica router (round-robin /
+//!   join-shortest-queue / least-loaded-KV) dispatching an arrival
+//!   stream across N engines on one shared simulated clock.
 //!
 //! ```
 //! use dcm_compiler::Device;
@@ -35,12 +42,14 @@
 
 pub mod attention;
 pub mod block;
+pub mod cluster;
 pub mod dataset;
 pub mod engine;
 pub mod kv_cache;
 
 pub use attention::{PagedAttention, PagedBackend};
 pub use block::{BlockList, BlockTable};
-pub use dataset::{Request, SyntheticDataset};
+pub use cluster::{Cluster, ClusterReport, ReplicaStats, RoutingPolicy};
+pub use dataset::{ArrivalProcess, Request, SyntheticDataset};
 pub use engine::{ServingEngine, ServingReport};
 pub use kv_cache::PagedKvCache;

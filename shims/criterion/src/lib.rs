@@ -1,0 +1,119 @@
+//! Offline shim for the subset of `criterion` used by the dcm benches.
+//!
+//! No statistics, warm-up, or HTML reports: each `bench_function` runs a
+//! fixed number of iterations and prints the mean wall time, which keeps
+//! `cargo bench` runnable (and the bench targets compiling) without
+//! crates.io access.
+
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Minimal stand-in for `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    iterations: u32,
+}
+
+impl Criterion {
+    /// Benchmark `f`, printing the mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let iters = if self.iterations == 0 { 10 } else { self.iterations };
+        let mut b = Bencher { elapsed_s: 0.0, runs: 0 };
+        for _ in 0..iters {
+            f(&mut b);
+        }
+        let per_iter = if b.runs == 0 { 0.0 } else { b.elapsed_s / b.runs as f64 };
+        println!("{id:<40} {:>12.3} us/iter ({} iters)", per_iter * 1e6, b.runs);
+        self
+    }
+
+    /// Open a named group; the shim just prefixes benchmark ids with it.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// Minimal stand-in for `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` under `group-name/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.criterion.bench_function(&format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// End the group (a no-op in the shim, kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to the closure of [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_s: f64,
+    runs: u64,
+}
+
+impl Bencher {
+    /// Time one batch of calls to `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed_s += start.elapsed().as_secs_f64();
+        self.runs += 1;
+    }
+}
+
+/// Group benchmark functions into one runnable entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_something(c: &mut Criterion) {
+        c.bench_function("shim-smoke", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    criterion_group!(smoke, bench_something);
+
+    #[test]
+    fn group_runs() {
+        smoke();
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline shim for the subset of `proptest` used by this workspace.
+//!
+//! The real proptest does strategy composition, shrinking, and persistent
+//! regression seeds. The workspace's property tests only ever draw from
+//! half-open integer ranges, so this shim keeps the `proptest!` surface
+//! (config, `arg in strategy` bindings, `prop_assert*`) and runs each test
+//! body over `cases` deterministic samples. There is no shrinking: a
+//! failing case panics with the sampled arguments in the message via
+//! `prop_assert*`'s formatting, which is enough to reproduce (sampling is
+//! seeded per test name, so reruns hit the identical sequence).
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic per-test generator, seeded from the test's name so every
+/// run (and every machine) replays the same sequence.
+#[must_use]
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the name.
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A value source for one `arg in strategy` binding.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                if hi < <$t>::MAX {
+                    rng.gen_range(lo..hi + 1)
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_float_range!(f32, f64);
+
+/// Run `#[test]` functions over sampled inputs.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     /// docs
+///     #[test]
+///     fn my_property(x in 0u64..100, n in 1usize..8) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                let __case_args: &[String] =
+                    &[$(format!("{} = {:?}", stringify!($arg), $arg)),*];
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(panic) = __outcome {
+                    eprintln!(
+                        "proptest case {}/{} failed with inputs: {}",
+                        __case + 1,
+                        __cfg.cases,
+                        __case_args.join(", "),
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Assert within a property body (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality within a property body (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality within a property body (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Everything the workspace imports with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        /// Sampled values respect their range bounds.
+        #[test]
+        fn ranges_are_respected(x in 3u64..17, n in 1usize..4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn bodies_run_per_case(a in 0u32..2, b in 0u32..2) {
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a + 1, a);
+        }
+    }
+
+    proptest! {
+        /// A block without an explicit config uses the default.
+        #[test]
+        fn default_config_works(x in 0i64..10) {
+            prop_assert!(x >= 0);
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        use crate::Strategy;
+        let mut a = crate::test_rng("foo");
+        let mut b = crate::test_rng("foo");
+        let mut c = crate::test_rng("bar");
+        let ra: Vec<u64> = (0..4).map(|_| (0u64..1000).generate(&mut a)).collect();
+        let rb: Vec<u64> = (0..4).map(|_| (0u64..1000).generate(&mut b)).collect();
+        let rc: Vec<u64> = (0..4).map(|_| (0u64..1000).generate(&mut c)).collect();
+        assert_eq!(ra, rb);
+        assert_ne!(ra, rc);
+    }
+
+    #[test]
+    fn inclusive_ranges_cover_endpoints() {
+        use crate::Strategy;
+        let mut r = crate::test_rng("incl");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[(0usize..=2).generate(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

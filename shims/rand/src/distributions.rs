@@ -1,0 +1,92 @@
+//! Distribution sampling: the `Distribution` trait and `WeightedIndex`.
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error building a [`WeightedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedError;
+
+impl core::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "weights must be non-negative with a positive sum")
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Sample indices proportionally to a weight vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    /// Build from non-negative weights with a positive, finite sum.
+    ///
+    /// # Errors
+    /// Returns [`WeightedError`] on empty input, a negative or non-finite
+    /// weight, or a zero sum.
+    pub fn new(weights: &[f64]) -> Result<Self, WeightedError> {
+        if weights.is_empty() {
+            return Err(WeightedError);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0_f64;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..self.total);
+        // First index whose cumulative weight exceeds the draw.
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite weights"))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn weighted_index_matches_weights() {
+        let dist = WeightedIndex::new(&[1.0, 3.0]).unwrap();
+        let mut r = StdRng::seed_from_u64(11);
+        let n = 40_000;
+        let ones = (0..n).filter(|_| dist.sample(&mut r) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "heavy fraction {frac}");
+    }
+
+    #[test]
+    fn invalid_weights_error() {
+        assert!(WeightedIndex::new(&[]).is_err());
+        assert!(WeightedIndex::new(&[0.0, 0.0]).is_err());
+        assert!(WeightedIndex::new(&[1.0, -1.0]).is_err());
+        assert!(WeightedIndex::new(&[f64::NAN]).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline drop-in shim for the subset of the `rand` 0.8 API used by this
+//! workspace.
+//!
+//! The build container has no crates.io access, so the workspace vendors a
+//! minimal, deterministic reimplementation: [`rngs::StdRng`] is a
+//! xoshiro256++ generator seeded through SplitMix64 (the reference seeding
+//! recipe), which gives high-quality, reproducible streams. The *values*
+//! differ from upstream `StdRng` (ChaCha12), so any threshold calibrated
+//! against upstream streams must be recalibrated — the statistical shape
+//! (uniformity, independence) is equivalent.
+//!
+//! Surface provided: `Rng::gen_range` over half-open ranges of the integer
+//! and float types the workspace samples, `SeedableRng::seed_from_u64`,
+//! `rngs::StdRng`, and `distributions::{Distribution, WeightedIndex}`.
+
+pub mod distributions;
+pub mod rngs;
+
+use core::ops::Range;
+
+/// Source of raw random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit word (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Generators constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, &range)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types uniformly samplable from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw a uniform sample from `range`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                // Width as u128 so signed and full-width ranges both work.
+                let span = (range.end as i128 - range.start as i128) as u128;
+                let draw = u128::from(rng.next_u64()) % span;
+                (range.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: &Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        // 24 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: f64 = r.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&y));
+            let z: i64 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&z));
+            let w: f32 = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[r.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.1).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(3);
+        let _: usize = r.gen_range(5..5);
+    }
+}

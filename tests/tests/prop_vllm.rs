@@ -130,10 +130,12 @@ proptest! {
     ) {
         let mut r = rng::seeded(seed);
         let requests: Vec<Request> = (0..n_requests as u64)
-            .map(|id| Request {
-                id,
-                input_len: rng::uniform_indices(&mut r, 1, 256)[0] + 16,
-                output_len: rng::uniform_indices(&mut r, 1, 16)[0] + 1,
+            .map(|id| {
+                Request::new(
+                    id,
+                    rng::uniform_indices(&mut r, 1, 256)[0] + 16,
+                    rng::uniform_indices(&mut r, 1, 16)[0] + 1,
+                )
             })
             .collect();
         let gaudi = Device::gaudi2();

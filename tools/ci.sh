@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Local CI gate: lint-clean and test-green, exactly what reviewers run.
+#
+#   sh tools/ci.sh
+#
+# Everything resolves offline (external deps are path shims under shims/),
+# so this needs no network access.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> ci OK"
