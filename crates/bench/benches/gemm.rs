@@ -33,9 +33,7 @@ fn bench_gemm_models(c: &mut Criterion) {
         });
     });
     g.bench_function("gaudi-batched-gemv-2048", |b| {
-        b.iter(|| {
-            black_box(gaudi.batched_gemm(2048, GemmShape::new(1, 128, 1024), DType::Bf16))
-        });
+        b.iter(|| black_box(gaudi.batched_gemm(2048, GemmShape::new(1, 128, 1024), DType::Bf16)));
     });
     g.finish();
 }

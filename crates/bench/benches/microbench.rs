@@ -67,5 +67,10 @@ fn bench_functional_tpc(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_stream_model, bench_gather_model, bench_functional_tpc);
+criterion_group!(
+    benches,
+    bench_stream_model,
+    bench_gather_model,
+    bench_functional_tpc
+);
 criterion_main!(benches);

@@ -25,13 +25,19 @@ fn main() {
 
     let mut t = Table::new(
         "decode attention cost and KV overhead vs block size (batch 32, mixed 257-3977 ctx)",
-        &["block tokens", "opt us", "base us", "blocks/seq avg", "alloc waste %"],
+        &[
+            "block tokens",
+            "opt us",
+            "base us",
+            "blocks/seq avg",
+            "alloc waste %",
+        ],
     );
     for bt in [16usize, 32, 64, 128, 256, 512] {
-        let opt = PagedAttention::new(&gaudi, PagedBackend::GaudiOpt, &model, 1)
-            .with_block_tokens(bt);
-        let base = PagedAttention::new(&gaudi, PagedBackend::GaudiBase, &model, 1)
-            .with_block_tokens(bt);
+        let opt =
+            PagedAttention::new(&gaudi, PagedBackend::GaudiOpt, &model, 1).with_block_tokens(bt);
+        let base =
+            PagedAttention::new(&gaudi, PagedBackend::GaudiBase, &model, 1).with_block_tokens(bt);
         let opt_t = opt.decode_cost(&lens, 0.0).time();
         let base_t = base.decode_cost(&lens, 0.0).time();
         // Internal-fragmentation waste of the last block per sequence.

@@ -38,7 +38,10 @@ fn main() {
     for n in [2usize, 4, 8] {
         t.push(&[
             n.to_string(),
-            format!("{:.3}", stock.bus_utilization(Collective::AllReduce, 32 << 20, n)),
+            format!(
+                "{:.3}",
+                stock.bus_utilization(Collective::AllReduce, 32 << 20, n)
+            ),
             format!(
                 "{:.3}",
                 switched.bus_utilization(Collective::AllReduce, 32 << 20, n)

@@ -31,7 +31,14 @@ fn main() {
 
     let mut t = Table::new(
         "PagedAttention decode cost (us) per step",
-        &["seq x batch", "Gaudi opt", "Gaudi fused*", "A100", "opt/A100", "fused/A100"],
+        &[
+            "seq x batch",
+            "Gaudi opt",
+            "Gaudi fused*",
+            "A100",
+            "opt/A100",
+            "fused/A100",
+        ],
     );
     for (len, batch) in [(1024usize, 32usize), (2048, 32), (4096, 32), (4096, 64)] {
         let lens = vec![len; batch];
@@ -57,7 +64,11 @@ fn main() {
     );
     for (name, device, backend) in [
         ("Gaudi-2 opt", &gaudi, PagedBackend::GaudiOpt),
-        ("Gaudi-2 fused*", &gaudi, PagedBackend::GaudiFusedHypothetical),
+        (
+            "Gaudi-2 fused*",
+            &gaudi,
+            PagedBackend::GaudiFusedHypothetical,
+        ),
         ("A100", &a100, PagedBackend::A100Fused),
     ] {
         let report = ServingEngine::new(device, model.clone(), 1, backend, 16)

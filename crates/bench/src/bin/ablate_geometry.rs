@@ -21,10 +21,22 @@ fn main() {
 
     let shapes: Vec<(&str, GemmShape, usize)> = vec![
         // (description, shape, batch)
-        ("prefill QKV (64x100 tokens)", GemmShape::new(6400, 4096, 6144), 1),
+        (
+            "prefill QKV (64x100 tokens)",
+            GemmShape::new(6400, 4096, 6144),
+            1,
+        ),
         ("decode QKV (batch 64)", GemmShape::new(64, 4096, 6144), 1),
-        ("decode MLP up (batch 64)", GemmShape::new(64, 4096, 28672), 1),
-        ("decode MLP down (batch 64)", GemmShape::new(64, 14336, 4096), 1),
+        (
+            "decode MLP up (batch 64)",
+            GemmShape::new(64, 4096, 28672),
+            1,
+        ),
+        (
+            "decode MLP down (batch 64)",
+            GemmShape::new(64, 14336, 4096),
+            1,
+        ),
         ("lm head (batch 64)", GemmShape::new(64, 4096, 128256), 1),
         ("attention GEMV x2048", GemmShape::new(1, 128, 1024), 2048),
         ("tall-skinny (Fig 6)", GemmShape::new(16384, 16384, 128), 1),

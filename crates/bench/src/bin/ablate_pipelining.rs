@@ -45,8 +45,18 @@ fn main() {
 
     for device in [Device::gaudi2(), Device::a100()] {
         let mut t = Table::new(
-            format!("{}: graph latency (us) under each pass combination", device.name()),
-            &["graph", "none", "fusion", "pipelining", "both", "total gain"],
+            format!(
+                "{}: graph latency (us) under each pass combination",
+                device.name()
+            ),
+            &[
+                "graph",
+                "none",
+                "fusion",
+                "pipelining",
+                "both",
+                "total gain",
+            ],
         );
         for (name, graph) in &graphs {
             let times: Vec<f64> = configs

@@ -41,7 +41,14 @@ fn main() {
     let cfg = TrainingConfig::llama8b_node();
     let mut t = Table::new(
         "Llama-3.1-8B training throughput (tokens/s) by cluster size",
-        &["nodes", "devices", "Gaudi-2", "A100", "speedup", "Gaudi scaling eff"],
+        &[
+            "nodes",
+            "devices",
+            "Gaudi-2",
+            "A100",
+            "speedup",
+            "Gaudi scaling eff",
+        ],
     );
     let g1 = cluster_tokens_per_second(&gaudi, &cfg, 1);
     for nodes in [1usize, 2, 4, 16, 64] {

@@ -70,8 +70,8 @@ fn calibrate(setup: &DeviceSetup, model: &LlamaConfig) -> f64 {
     )
     .run(&trace)
     .expect("offline trace fits");
-    let mean_output: f64 = trace.iter().map(|r| r.output_len as f64).sum::<f64>()
-        / trace.len() as f64;
+    let mean_output: f64 =
+        trace.iter().map(|r| r.output_len as f64).sum::<f64>() / trace.len() as f64;
     report.throughput_tps / mean_output
 }
 
@@ -164,10 +164,14 @@ fn main() {
     let replicas = 4;
     let offered = 1.5 * capacity_rps * replicas as f64;
     let mut t = Table::new(
-        format!(
-            "Routing policy comparison — Gaudi-2, {replicas} replicas, 1.5x capacity"
-        ),
-        &["policy", "p50 TTFT s", "p99 TTFT s", "queue p99 s", "imbalance"],
+        format!("Routing policy comparison — Gaudi-2, {replicas} replicas, 1.5x capacity"),
+        &[
+            "policy",
+            "p50 TTFT s",
+            "p99 TTFT s",
+            "queue p99 s",
+            "imbalance",
+        ],
     );
     for policy in [
         RoutingPolicy::RoundRobin,
@@ -186,8 +190,20 @@ fn main() {
     print!("\n{}", t.render());
 
     // Sanity line for the expected open-system shape at 4 replicas.
-    let low = run_cluster(gaudi, &model, 4, RoutingPolicy::JoinShortestQueue, 0.25 * capacity_rps * 4.0);
-    let high = run_cluster(gaudi, &model, 4, RoutingPolicy::JoinShortestQueue, 2.0 * capacity_rps * 4.0);
+    let low = run_cluster(
+        gaudi,
+        &model,
+        4,
+        RoutingPolicy::JoinShortestQueue,
+        0.25 * capacity_rps * 4.0,
+    );
+    let high = run_cluster(
+        gaudi,
+        &model,
+        4,
+        RoutingPolicy::JoinShortestQueue,
+        2.0 * capacity_rps * 4.0,
+    );
     println!(
         "\nsaturation check (Gaudi-2, 4 replicas): p99 TTFT {:.2}s at 0.25x load -> {:.2}s at 2.0x load ({})",
         low.serving.p99_ttft_s,

@@ -19,7 +19,17 @@ fn main() {
     let devices = [Device::gaudi2(), Device::a100(), Device::gaudi3()];
     let mut t = Table::new(
         "training step breakdown",
-        &["config", "device", "fwd ms", "bwd ms", "AR exp ms", "opt ms", "step ms", "tok/s", "MFU"],
+        &[
+            "config",
+            "device",
+            "fwd ms",
+            "bwd ms",
+            "AR exp ms",
+            "opt ms",
+            "step ms",
+            "tok/s",
+            "MFU",
+        ],
     );
     for (seq, mb) in [(512usize, 1usize), (2048, 2), (4096, 2)] {
         let cfg = TrainingConfig {
@@ -30,8 +40,7 @@ fn main() {
         };
         for d in &devices {
             let r = train_step(d, &cfg);
-            let mfu = r.achieved_flops()
-                / d.spec().matrix_peak_flops(dcm_core::DType::Bf16);
+            let mfu = r.achieved_flops() / d.spec().matrix_peak_flops(dcm_core::DType::Bf16);
             t.push(&[
                 format!("seq{seq} mb{mb}"),
                 d.name().to_owned(),

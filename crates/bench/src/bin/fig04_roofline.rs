@@ -28,7 +28,14 @@ fn main() {
 
     let mut t = Table::new(
         "Figure 4 data points",
-        &["shape", "marker", "OI (F/B)", "Gaudi-2 TF", "A100 TF", "speedup"],
+        &[
+            "shape",
+            "marker",
+            "OI (F/B)",
+            "Gaudi-2 TF",
+            "A100 TF",
+            "speedup",
+        ],
     );
     let mut shapes: Vec<(GemmShape, &str)> = Vec::new();
     for p in [9usize, 10, 11, 12, 13] {

@@ -25,7 +25,10 @@ fn square_heatmap(device: &Device, sizes: &[usize]) -> Heatmap {
     );
     h.push_row(
         device.name().to_owned(),
-        sizes.iter().map(|&s| util(device, GemmShape::square(s))).collect(),
+        sizes
+            .iter()
+            .map(|&s| util(device, GemmShape::square(s)))
+            .collect(),
     );
     h
 }
@@ -33,7 +36,10 @@ fn square_heatmap(device: &Device, sizes: &[usize]) -> Heatmap {
 fn irregular_heatmap(device: &Device, dims: &[usize]) -> Heatmap {
     let cols = dims.iter().map(|d| d.to_string()).collect();
     let mut h = Heatmap::new(
-        format!("Figure 5(b) irregular GEMM (N=16) utilization, {}", device.name()),
+        format!(
+            "Figure 5(b) irregular GEMM (N=16) utilization, {}",
+            device.name()
+        ),
         "M",
         "K",
         cols,

@@ -45,7 +45,10 @@ fn main() {
         gate.push_row(
             m.to_string(),
             dims.iter()
-                .map(|&n| mme.gemm(GemmShape::new(m, K, n), DType::Bf16).powered_fraction)
+                .map(|&n| {
+                    mme.gemm(GemmShape::new(m, K, n), DType::Bf16)
+                        .powered_fraction
+                })
                 .collect(),
         );
     }
@@ -63,7 +66,10 @@ fn main() {
         util.push_row(
             m.to_string(),
             dims.iter()
-                .map(|&n| mme.gemm(GemmShape::new(m, K, n), DType::Bf16).utilization(peak))
+                .map(|&n| {
+                    mme.gemm(GemmShape::new(m, K, n), DType::Bf16)
+                        .utilization(peak)
+                })
                 .collect(),
         );
     }

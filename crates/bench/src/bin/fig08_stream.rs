@@ -8,7 +8,11 @@ use dcm_core::{DType, DeviceSpec};
 use dcm_tpc::engine::{StreamKernel, VectorEngineModel};
 
 fn kernels() -> [StreamKernel; 3] {
-    [StreamKernel::add(), StreamKernel::scale(), StreamKernel::triad()]
+    [
+        StreamKernel::add(),
+        StreamKernel::scale(),
+        StreamKernel::triad(),
+    ]
 }
 
 fn main() {
@@ -37,7 +41,12 @@ fn main() {
                 )
             })
             .collect();
-        ta.push_row(vec![g.to_string(), row[0].clone(), row[1].clone(), row[2].clone()]);
+        ta.push_row(vec![
+            g.to_string(),
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
+        ]);
     }
     print!("{}", ta.render());
 
@@ -56,7 +65,12 @@ fn main() {
                 )
             })
             .collect();
-        tb.push_row(vec![u.to_string(), row[0].clone(), row[1].clone(), row[2].clone()]);
+        tb.push_row(vec![
+            u.to_string(),
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
+        ]);
     }
     print!("{}", tb.render());
 
@@ -68,9 +82,19 @@ fn main() {
     for n in [1usize, 2, 4, 8, 11, 13, 15, 20, 24] {
         let row: Vec<String> = kernels()
             .iter()
-            .map(|k| format!("{:.1}", gaudi.throughput(&k.clone().with_unroll(4), n, dt) / 1e9))
+            .map(|k| {
+                format!(
+                    "{:.1}",
+                    gaudi.throughput(&k.clone().with_unroll(4), n, dt) / 1e9
+                )
+            })
             .collect();
-        tc.push_row(vec![n.to_string(), row[0].clone(), row[1].clone(), row[2].clone()]);
+        tc.push_row(vec![
+            n.to_string(),
+            row[0].clone(),
+            row[1].clone(),
+            row[2].clone(),
+        ]);
     }
     print!("{}", tc.render());
 
@@ -100,15 +124,38 @@ fn main() {
     println!();
     let sat = |k: StreamKernel| gaudi.throughput(&k.with_unroll(4), 24, dt) / 1e9;
     compare("ADD saturation (GFLOPS)", 330.0, sat(StreamKernel::add()));
-    compare("SCALE saturation (GFLOPS)", 530.0, sat(StreamKernel::scale()));
-    compare("TRIAD saturation (GFLOPS)", 670.0, sat(StreamKernel::triad()));
+    compare(
+        "SCALE saturation (GFLOPS)",
+        530.0,
+        sat(StreamKernel::scale()),
+    );
+    compare(
+        "TRIAD saturation (GFLOPS)",
+        670.0,
+        sat(StreamKernel::triad()),
+    );
     let gsat = |k: StreamKernel| {
         gaudi.throughput(&k.with_intensity_scale(1024).with_unroll(8), 24, dt) / 1e12
     };
-    compare("Gaudi ADD compute saturation (TF)", 5.5, gsat(StreamKernel::add()));
-    compare("Gaudi TRIAD compute saturation (TF)", 10.9, gsat(StreamKernel::triad()));
-    let asat =
-        |k: StreamKernel| a100.throughput(&k.with_intensity_scale(1024), 108, dt) / 1e12;
-    compare("A100 ADD compute saturation (TF)", 19.4, asat(StreamKernel::add()));
-    compare("A100 TRIAD compute saturation (TF)", 38.2, asat(StreamKernel::triad()));
+    compare(
+        "Gaudi ADD compute saturation (TF)",
+        5.5,
+        gsat(StreamKernel::add()),
+    );
+    compare(
+        "Gaudi TRIAD compute saturation (TF)",
+        10.9,
+        gsat(StreamKernel::triad()),
+    );
+    let asat = |k: StreamKernel| a100.throughput(&k.with_intensity_scale(1024), 108, dt) / 1e12;
+    compare(
+        "A100 ADD compute saturation (TF)",
+        19.4,
+        asat(StreamKernel::add()),
+    );
+    compare(
+        "A100 TRIAD compute saturation (TF)",
+        38.2,
+        asat(StreamKernel::triad()),
+    );
 }

@@ -48,8 +48,14 @@ fn main() {
     let gaudi = GatherScatterEngine::new(&DeviceSpec::gaudi2());
     let a100 = GatherScatterEngine::new(&DeviceSpec::a100());
     for scatter in [false, true] {
-        print!("{}", heatmap(&gaudi, "Gaudi-2 gather/scatter", scatter).render(3));
-        print!("{}", heatmap(&a100, "A100 gather/scatter", scatter).render(3));
+        print!(
+            "{}",
+            heatmap(&gaudi, "Gaudi-2 gather/scatter", scatter).render(3)
+        );
+        print!(
+            "{}",
+            heatmap(&a100, "A100 gather/scatter", scatter).render(3)
+        );
     }
 
     let avg = |e: &GatherScatterEngine, sizes: &[usize]| {
@@ -65,7 +71,11 @@ fn main() {
     println!();
     compare("Gaudi-2 mean gather util, >=256B", 0.64, avg(&gaudi, &big));
     compare("A100 mean gather util, >=256B", 0.72, avg(&a100, &big));
-    compare("Gaudi-2 mean gather util, <=128B", 0.15, avg(&gaudi, &small));
+    compare(
+        "Gaudi-2 mean gather util, <=128B",
+        0.15,
+        avg(&gaudi, &small),
+    );
     compare("A100 mean gather util, <=128B", 0.36, avg(&a100, &small));
     compare(
         "small-vector gap (A100/Gaudi)",

@@ -46,7 +46,11 @@ fn main() {
         .iter()
         .filter(|&&c| at_32mb(&gaudi, c, 8) > at_32mb(&a100, c, 8))
         .count();
-    compare("collectives where Gaudi-2 leads at 8 devices", 5.0, gaudi_wins as f64);
+    compare(
+        "collectives where Gaudi-2 leads at 8 devices",
+        5.0,
+        gaudi_wins as f64,
+    );
     compare(
         "Gaudi-2 AllReduce util ratio 2-dev/8-dev (P2P ~ 1/7)",
         1.0 / 7.0,

@@ -67,9 +67,21 @@ fn main() {
         all_speed.push(speed);
         all_energy.push(energy);
     }
-    compare("RM1 mean Gaudi speedup (paper: 0.78)", 0.78, all_speed[0].mean());
-    compare("RM2 mean Gaudi speedup (paper: 0.82)", 0.82, all_speed[1].mean());
-    compare("max Gaudi speedup (wide vectors)", 1.36, all_speed[0].max().max(all_speed[1].max()));
+    compare(
+        "RM1 mean Gaudi speedup (paper: 0.78)",
+        0.78,
+        all_speed[0].mean(),
+    );
+    compare(
+        "RM2 mean Gaudi speedup (paper: 0.82)",
+        0.82,
+        all_speed[1].mean(),
+    );
+    compare(
+        "max Gaudi speedup (wide vectors)",
+        1.36,
+        all_speed[0].max().max(all_speed[1].max()),
+    );
     compare(
         "mean energy-efficiency (paper: 1/1.28 = 0.78)",
         0.78,

@@ -14,7 +14,10 @@ fn speedup_heatmap(cfg: &LlamaConfig, tp: usize) -> Heatmap {
     let a100 = Device::a100();
     let server = LlamaServer::new(cfg.clone(), tp);
     let mut h = Heatmap::new(
-        format!("Figure 12(a): {} on {tp} device(s), Gaudi-2 speedup", cfg.name),
+        format!(
+            "Figure 12(a): {} on {tp} device(s), Gaudi-2 speedup",
+            cfg.name
+        ),
         "batch",
         "output len",
         OUTPUT_LENS.iter().map(|o| o.to_string()).collect(),

@@ -13,7 +13,10 @@ fn energy_heatmap(cfg: &LlamaConfig, tp: usize) -> (Heatmap, f64, f64) {
     let a100 = Device::a100();
     let server = LlamaServer::new(cfg.clone(), tp);
     let mut h = Heatmap::new(
-        format!("Figure 13: {} on {tp} device(s), Gaudi-2 energy-eff improvement", cfg.name),
+        format!(
+            "Figure 13: {} on {tp} device(s), Gaudi-2 energy-eff improvement",
+            cfg.name
+        ),
         "batch",
         "output len",
         OUTPUT_LENS.iter().map(|o| o.to_string()).collect(),
@@ -63,10 +66,26 @@ fn main() {
         tp_means.push(h.mean());
         power_ratios.push(gp / ap);
     }
-    compare("8B single-device mean energy-eff improvement", 1.48, h8.mean());
-    compare("70B 2-device mean energy-eff improvement", 1.48, tp_means[0]);
-    compare("70B 4-device mean energy-eff improvement", 1.51, tp_means[1]);
-    compare("70B 8-device mean energy-eff improvement", 1.56, tp_means[2]);
+    compare(
+        "8B single-device mean energy-eff improvement",
+        1.48,
+        h8.mean(),
+    );
+    compare(
+        "70B 2-device mean energy-eff improvement",
+        1.48,
+        tp_means[0],
+    );
+    compare(
+        "70B 4-device mean energy-eff improvement",
+        1.51,
+        tp_means[1],
+    );
+    compare(
+        "70B 8-device mean energy-eff improvement",
+        1.56,
+        tp_means[2],
+    );
     compare(
         "multi-device Gaudi/A100 power ratio (paper ~0.88)",
         0.88,

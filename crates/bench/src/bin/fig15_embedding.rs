@@ -71,7 +71,11 @@ fn main() {
     println!();
     compare("BatchedTable(Gaudi-2) mean utilization", 0.342, hb.mean());
     compare("BatchedTable(Gaudi-2) peak utilization", 0.705, hb.max());
-    compare("BatchedTable/SingleTable mean ratio", 1.52, hb.mean() / hs.mean());
+    compare(
+        "BatchedTable/SingleTable mean ratio",
+        1.52,
+        hb.mean() / hs.mean(),
+    );
     compare("FBGEMM(A100) mean utilization", 0.387, ha.mean());
     compare("FBGEMM(A100) peak utilization", 0.818, ha.max());
 
@@ -86,8 +90,16 @@ fn main() {
         }
         rs.iter().sum::<f64>() / rs.len() as f64
     };
-    compare("Gaudi/A100 throughput, >=256B vectors", 0.95, ratio_for(&[256, 512, 1024, 2048]));
-    compare("Gaudi/A100 throughput, <256B vectors", 0.47, ratio_for(&[16, 32, 64, 128]));
+    compare(
+        "Gaudi/A100 throughput, >=256B vectors",
+        0.95,
+        ratio_for(&[256, 512, 1024, 2048]),
+    );
+    compare(
+        "Gaudi/A100 throughput, <256B vectors",
+        0.47,
+        ratio_for(&[16, 32, 64, 128]),
+    );
 
     // SDK baseline (§3.5: 37% of GPU FBGEMM; our SingleTable ~60% faster).
     let cfg = EmbeddingConfig::rm2_like(256);

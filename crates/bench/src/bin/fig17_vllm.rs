@@ -90,7 +90,16 @@ fn main() {
     let trace = SyntheticDataset::dynamic_sonnet(48, 2026);
     let mut td = Table::new(
         "Figure 17(d,e): end-to-end serving vs max decode batch",
-        &["max batch", "G tput t/s", "A tput t/s", "G/A", "G TTFT ms", "G TPOT ms", "A TTFT ms", "A TPOT ms"],
+        &[
+            "max batch",
+            "G tput t/s",
+            "A tput t/s",
+            "G/A",
+            "G TTFT ms",
+            "G TPOT ms",
+            "A TTFT ms",
+            "A TPOT ms",
+        ],
     );
     let mut ratios = Vec::new();
     for &mb in &[2usize, 4, 8, 16, 32] {
@@ -116,7 +125,11 @@ fn main() {
 
     println!();
     compare("vLLMopt/vLLMbase mean speedup, 0% padding", 7.4, ha.mean());
-    compare("max speedup with padding", 55.7, pad_speedups.iter().cloned().fold(f64::MIN, f64::max));
+    compare(
+        "max speedup with padding",
+        55.7,
+        pad_speedups.iter().cloned().fold(f64::MIN, f64::max),
+    );
     compare(
         "mean speedup over 10-90% padding",
         21.0,

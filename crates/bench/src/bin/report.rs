@@ -14,6 +14,7 @@ use dcm_vllm::attention::{PagedAttention, PagedBackend};
 use dcm_vllm::cluster::{Cluster, RoutingPolicy};
 use dcm_vllm::dataset::{ArrivalProcess, SyntheticDataset};
 use dcm_vllm::engine::ServingEngine;
+use dcm_vllm::fault::{FaultPlan, ResilienceConfig, ShedPolicy, SloSpec};
 use dcm_workloads::dlrm::{DlrmConfig, DlrmServer};
 use dcm_workloads::llama::{LlamaConfig, LlamaServer};
 use std::fs;
@@ -43,7 +44,11 @@ fn main() {
         for &vb in &VECTOR_SIZES {
             h.push_row(vb.to_string(), vec![engine.gather_utilization(4 << 20, vb)]);
         }
-        write_csv(dir, &format!("fig09_gather_{}", device.name().to_lowercase()), &h);
+        write_csv(
+            dir,
+            &format!("fig09_gather_{}", device.name().to_lowercase()),
+            &h,
+        );
     }
 
     // Figure 11: RM2 speedup heatmap.
@@ -153,8 +158,8 @@ fn main() {
         let r = ServingEngine::new(&gaudi, model.clone(), 1, PagedBackend::GaudiOpt, 16)
             .run(&offline)
             .expect("offline trace fits");
-        let mean_out: f64 = offline.iter().map(|q| q.output_len as f64).sum::<f64>()
-            / offline.len() as f64;
+        let mean_out: f64 =
+            offline.iter().map(|q| q.output_len as f64).sum::<f64>() / offline.len() as f64;
         r.throughput_tps / mean_out
     };
     let mut online_tput = Heatmap::new(
@@ -199,6 +204,95 @@ fn main() {
     }
     write_csv(dir, "ext_online_throughput", &online_tput);
     write_csv(dir, "ext_online_p99_ttft", &online_p99);
+
+    // Fault-tolerance extension: goodput under a replica crash (crash
+    // time x replica count) and the p99 TTFT tail under admission
+    // control (queue cap x overload) — the curves behind
+    // `ext_fault_tolerance`. Both use a 2.5 s TTFT / 0.5 s TPOT SLO.
+    let slo = SloSpec::new(2.5, 0.5);
+    let fault_replicas = [2usize, 4, 8];
+    let crash_fracs = [0.25, 0.5, 0.75];
+    let mut fault_goodput = Heatmap::new(
+        "ext fault tolerance: goodput (tokens/s) after a replica crash",
+        "crash_frac",
+        "replicas",
+        fault_replicas.iter().map(|r| r.to_string()).collect(),
+    );
+    for &frac in &crash_fracs {
+        let mut row = Vec::new();
+        for &replicas in &fault_replicas {
+            let rate = 0.75 * capacity_rps * replicas as f64;
+            let trace = SyntheticDataset::dynamic_sonnet_online(
+                per_replica_trace * replicas,
+                seed,
+                &ArrivalProcess::Poisson { rate_rps: rate },
+            );
+            let span = trace.iter().map(|r| r.arrival_s).fold(0.0_f64, f64::max);
+            let report = Cluster::homogeneous(
+                &gaudi,
+                &model,
+                1,
+                PagedBackend::GaudiOpt,
+                16,
+                replicas,
+                RoutingPolicy::JoinShortestQueue,
+            )
+            .run_resilient(
+                &trace,
+                &FaultPlan::none().with_crash(0, frac * span),
+                &ResilienceConfig {
+                    slo,
+                    ..ResilienceConfig::default()
+                },
+            )
+            .expect("online trace fits");
+            row.push(report.serving.goodput_tps);
+        }
+        fault_goodput.push_row(format!("{frac:.2}"), row);
+    }
+    write_csv(dir, "ext_fault_goodput", &fault_goodput);
+
+    let queue_caps = [4usize, 8, 16, 32];
+    let overloads = [1.5, 2.0];
+    let mut shed_p99 = Heatmap::new(
+        "ext fault tolerance: p99 TTFT (s) under admission control",
+        "queue_cap",
+        "load_factor",
+        overloads.iter().map(|l| format!("{l:.1}")).collect(),
+    );
+    for &cap in &queue_caps {
+        let mut row = Vec::new();
+        for &load in &overloads {
+            let rate = load * capacity_rps * 4.0;
+            let trace = SyntheticDataset::dynamic_sonnet_online(
+                per_replica_trace * 4,
+                seed,
+                &ArrivalProcess::Poisson { rate_rps: rate },
+            );
+            let report = Cluster::homogeneous(
+                &gaudi,
+                &model,
+                1,
+                PagedBackend::GaudiOpt,
+                16,
+                4,
+                RoutingPolicy::JoinShortestQueue,
+            )
+            .run_resilient(
+                &trace,
+                &FaultPlan::none(),
+                &ResilienceConfig {
+                    shed: ShedPolicy::queue_cap(cap),
+                    slo,
+                    ..ResilienceConfig::default()
+                },
+            )
+            .expect("online trace fits");
+            row.push(report.serving.p99_ttft_s);
+        }
+        shed_p99.push_row(cap.to_string(), row);
+    }
+    write_csv(dir, "ext_fault_shed_p99_ttft", &shed_p99);
 
     println!("\nall CSVs written to results/");
 }

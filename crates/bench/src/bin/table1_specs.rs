@@ -42,7 +42,13 @@ fn main() {
         g.memory.hbm_capacity_bytes as f64,
         "B",
     );
-    row(&mut t, "HBM bandwidth", a.hbm_bandwidth(), g.hbm_bandwidth(), "B/s");
+    row(
+        &mut t,
+        "HBM bandwidth",
+        a.hbm_bandwidth(),
+        g.hbm_bandwidth(),
+        "B/s",
+    );
     row(
         &mut t,
         "SRAM capacity",
@@ -57,7 +63,13 @@ fn main() {
         g.fabric.full_bandwidth(8),
         "B/s",
     );
-    row(&mut t, "Power (TDP)", a.power.tdp_watts, g.power.tdp_watts, "W");
+    row(
+        &mut t,
+        "Power (TDP)",
+        a.power.tdp_watts,
+        g.power.tdp_watts,
+        "W",
+    );
     t.push(&[
         "Min access granularity".to_owned(),
         format!("{} B", a.memory.min_access_bytes),

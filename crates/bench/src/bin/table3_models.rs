@@ -15,10 +15,22 @@ fn mlp(widths: &[usize]) -> String {
 }
 
 fn main() {
-    banner("Table 3: evaluated end-to-end AI workloads", "RM1/RM2 + Llama-3.1 8B/70B");
+    banner(
+        "Table 3: evaluated end-to-end AI workloads",
+        "RM1/RM2 + Llama-3.1 8B/70B",
+    );
     let mut rec = Table::new(
         "RecSys (DLRM-DCNv2)",
-        &["model", "tables", "rows", "pooling", "bottom MLP", "top MLP", "low-rank", "cross layers"],
+        &[
+            "model",
+            "tables",
+            "rows",
+            "pooling",
+            "bottom MLP",
+            "top MLP",
+            "low-rank",
+            "cross layers",
+        ],
     );
     for cfg in [DlrmConfig::rm1(256), DlrmConfig::rm2(256)] {
         rec.push(&[
@@ -36,7 +48,16 @@ fn main() {
 
     let mut llm = Table::new(
         "LLM (Llama-3.1)",
-        &["model", "layers", "q heads", "kv heads", "hidden", "intermediate", "vocab", "params"],
+        &[
+            "model",
+            "layers",
+            "q heads",
+            "kv heads",
+            "hidden",
+            "intermediate",
+            "vocab",
+            "params",
+        ],
     );
     for cfg in [LlamaConfig::llama31_8b(), LlamaConfig::llama31_70b()] {
         llm.push(&[

@@ -20,7 +20,10 @@ fn check(id: &str, claim: &str, ok: bool) -> bool {
 
 #[allow(clippy::too_many_lines)]
 fn main() {
-    banner("Key takeaways #1-#7", "directional checks of every takeaway in the paper");
+    banner(
+        "Key takeaways #1-#7",
+        "directional checks of every takeaway in the paper",
+    );
     let gaudi = Device::gaudi2();
     let a100 = Device::a100();
     let mut all = true;
@@ -54,11 +57,17 @@ fn main() {
         let gt = gv.throughput(&k.clone().with_unroll(8), 24, DType::Bf16);
         let at = av.throughput(&k, 108, DType::Bf16);
         let gu = gv.utilization(
-            &StreamKernel::triad().with_intensity_scale(512).with_unroll(8),
+            &StreamKernel::triad()
+                .with_intensity_scale(512)
+                .with_unroll(8),
             24,
             DType::Bf16,
         );
-        let au = av.utilization(&StreamKernel::triad().with_intensity_scale(512), 108, DType::Bf16);
+        let au = av.utilization(
+            &StreamKernel::triad().with_intensity_scale(512),
+            108,
+            DType::Bf16,
+        );
         all &= check(
             "2",
             "vector: A100 ~3.5x faster absolute, both ~equal utilization",
@@ -72,8 +81,7 @@ fn main() {
         let ae = GatherScatterEngine::new(a100.spec());
         let n = 1 << 20;
         let big_ok = ae.gather_utilization(n, 1024) - ge.gather_utilization(n, 1024) < 0.15;
-        let small_bad =
-            ae.gather_utilization(n, 64) > 2.0 * ge.gather_utilization(n, 64);
+        let small_bad = ae.gather_utilization(n, 64) > 2.0 * ge.gather_utilization(n, 64);
         all &= check(
             "3",
             "memory: competitive streaming/large gathers, 256B granularity hurts small gathers",
@@ -104,13 +112,9 @@ fn main() {
         let llm_ok =
             g.total_time_s() < a.total_time_s() && g.energy_per_token() < a.energy_per_token();
         let cfg = DlrmConfig::rm2(64);
-        let rs_g = DlrmServer::new(cfg.clone()).serve(
-            &gaudi,
-            &BatchedTableOp::new(gaudi.spec()),
-            4096,
-        );
-        let rs_a =
-            DlrmServer::new(cfg).serve(&a100, &BatchedTableOp::new(a100.spec()), 4096);
+        let rs_g =
+            DlrmServer::new(cfg.clone()).serve(&gaudi, &BatchedTableOp::new(gaudi.spec()), 4096);
+        let rs_a = DlrmServer::new(cfg).serve(&a100, &BatchedTableOp::new(a100.spec()), 4096);
         let recsys_ok = rs_g.time_s() > rs_a.time_s() && rs_g.energy_j > rs_a.energy_j;
         all &= check(
             "5",
@@ -141,8 +145,7 @@ fn main() {
         let opt = PagedAttention::new(&gaudi, PagedBackend::GaudiOpt, &model, 1);
         let fused = PagedAttention::new(&a100, PagedBackend::A100Fused, &model, 1);
         let lens = vec![4096usize; 32];
-        let kernel_gap =
-            opt.decode_cost(&lens, 0.0).time() / fused.decode_cost(&lens, 0.0).time();
+        let kernel_gap = opt.decode_cost(&lens, 0.0).time() / fused.decode_cost(&lens, 0.0).time();
         let server = LlamaServer::new(model, 1);
         let e2e = server.serve(&a100, 32, 100, 200).total_time_s()
             / server.serve(&gaudi, 32, 100, 200).total_time_s();

@@ -10,8 +10,8 @@ use dcm_core::timeline::{pipeline_makespan, slice_evenly};
 use dcm_core::DType;
 use dcm_mem::GatherScatterEngine;
 use dcm_mme::{A100TensorCore, GaudiMme, GemmEngine, GemmRun, GemmShape};
-use dcm_net::CollectiveModel;
 use dcm_net::Collective;
+use dcm_net::CollectiveModel;
 use dcm_tpc::engine::{StreamKernel, VectorEngineModel};
 
 /// GEMM backend dispatch (static, no trait objects: the set is closed).
@@ -42,7 +42,6 @@ impl GemmBackend {
             GemmBackend::A100(a) => a.peak_flops(dtype),
         }
     }
-
 }
 
 /// Result of executing a compiled graph on a device.
@@ -261,7 +260,9 @@ impl Device {
                 count,
                 vector_bytes,
             } => (
-                self.gather.gather_cost(*count, *vector_bytes).into_op_cost(),
+                self.gather
+                    .gather_cost(*count, *vector_bytes)
+                    .into_op_cost(),
                 0.0,
             ),
             Op::AllReduce {
@@ -272,7 +273,8 @@ impl Device {
                     (OpCost::free(dcm_core::cost::Engine::Network), 0.0)
                 } else {
                     (
-                        self.collective.cost(Collective::AllReduce, *bytes, *participants),
+                        self.collective
+                            .cost(Collective::AllReduce, *bytes, *participants),
                         0.0,
                     )
                 }
@@ -327,7 +329,12 @@ impl Device {
         // adds), each a streaming input.
         let mut extra_inputs = 0usize;
         for op in ops {
-            if let Op::Elementwise { kind, elems: e, dtype: d } = op {
+            if let Op::Elementwise {
+                kind,
+                elems: e,
+                dtype: d,
+            } = op
+            {
                 computes += kind.computes_per_elem();
                 elems = elems.max(*e);
                 dtype = *d;

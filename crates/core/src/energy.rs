@@ -118,7 +118,9 @@ impl PowerModel {
         let memory_act = UNGATED_FLOOR + (1.0 - UNGATED_FLOOR) * a.memory;
         self.idle_watts
             + self.dynamic_watts
-                * (MATRIX_SHARE * matrix_act + VECTOR_SHARE * vector_act + MEMORY_SHARE * memory_act)
+                * (MATRIX_SHARE * matrix_act
+                    + VECTOR_SHARE * vector_act
+                    + MEMORY_SHARE * memory_act)
     }
 
     /// Energy in joules for running at `activity` for the wall time recorded
@@ -305,7 +307,10 @@ mod tests {
         let eg = g.energy_of(&stats, 0.5); // half the MME powered
         let ea = a.energy_of(&stats, 1.0);
         let gap = eg / ea;
-        assert!(gap < 1.35, "power gap {gap} should be well below the 1.5x TDP ratio");
+        assert!(
+            gap < 1.35,
+            "power gap {gap} should be well below the 1.5x TDP ratio"
+        );
         assert!(gap > 0.8);
     }
 

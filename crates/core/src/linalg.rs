@@ -61,8 +61,7 @@ pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 #[must_use]
 pub fn scale(a: &Tensor, s: f32) -> Tensor {
     let data = a.data().iter().map(|x| x * s).collect::<Vec<_>>();
-    Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data)
-        .expect("same shape always fits")
+    Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data).expect("same shape always fits")
 }
 
 /// Numerically stable softmax applied independently to each row of a rank-2
@@ -109,8 +108,7 @@ pub fn transpose(a: &Tensor) -> Tensor {
 #[must_use]
 pub fn relu(a: &Tensor) -> Tensor {
     let data = a.data().iter().map(|&x| x.max(0.0)).collect::<Vec<_>>();
-    Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data)
-        .expect("same shape always fits")
+    Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data).expect("same shape always fits")
 }
 
 /// SiLU (sigmoid-weighted linear unit), the Llama MLP activation.
@@ -121,8 +119,7 @@ pub fn silu(a: &Tensor) -> Tensor {
         .iter()
         .map(|&x| x / (1.0 + (-x).exp()))
         .collect::<Vec<_>>();
-    Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data)
-        .expect("same shape always fits")
+    Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data).expect("same shape always fits")
 }
 
 #[cfg(test)]

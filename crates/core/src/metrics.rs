@@ -38,25 +38,32 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (log_sum / xs.len() as f64).exp()
 }
 
-/// Maximum value. Returns 0 for an empty slice.
+/// Maximum value. Returns 0 only for an empty slice; negative data is
+/// returned as-is (log-ratio heatmap grids legitimately go below zero).
 #[must_use]
 pub fn max(xs: &[f64]) -> f64 {
-    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(0.0)
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().copied().fold(f64::NEG_INFINITY, f64::max)
 }
 
-/// Minimum value. Returns +inf mapped to 0 for an empty slice.
+/// Minimum value. Returns 0 only for an empty slice; negative data is
+/// returned as-is.
 #[must_use]
 pub fn min(xs: &[f64]) -> f64 {
-    let m = xs.iter().copied().fold(f64::INFINITY, f64::min);
-    if m.is_finite() {
-        m
-    } else {
-        0.0
+    if xs.is_empty() {
+        return 0.0;
     }
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
 }
 
-/// Percentile (0..=100) by nearest-rank on a copy of the data.
-/// Returns 0 for an empty slice.
+/// Percentile (`p` in `0..=100`) as the sample whose sorted index is the
+/// *rounded* linear rank `p/100 * (n-1)` — numpy's `interpolation="nearest"`.
+/// Every result is an actual sample (no interpolation): `p = 0` is the
+/// minimum, `p = 100` the maximum, and with two samples the split falls at
+/// `p = 50` (which rounds up to the larger sample). Returns 0 for an empty
+/// slice.
 #[must_use]
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
@@ -73,8 +80,10 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
 /// and TPOT numbers.
 ///
 /// Samples are kept verbatim (one `f64` each; serving traces are at most a
-/// few thousand requests) and sorted lazily, so quantiles are *exact* and
-/// runs are bit-reproducible. Recorders from replica shards can be
+/// few thousand requests) and sorted lazily, so quantiles are *exact*
+/// order statistics of the recorded samples (the rounded-linear-rank
+/// definition of [`percentile`], no sketching or interpolation) and runs
+/// are bit-reproducible. Recorders from replica shards can be
 /// [`merged`](Self::merge) into a cluster-wide distribution.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct LatencyRecorder {
@@ -121,7 +130,8 @@ impl LatencyRecorder {
         max(&self.samples)
     }
 
-    /// Exact quantile by nearest rank, `p` in `0..=100`; 0 when empty.
+    /// Exact quantile — the sample at the rounded linear rank (see
+    /// [`percentile`]) — with `p` in `0..=100`; 0 when empty.
     #[must_use]
     pub fn quantile(&self, p: f64) -> f64 {
         percentile(&self.samples, p)
@@ -130,7 +140,11 @@ impl LatencyRecorder {
     /// The (p50, p95, p99) triple most figures report.
     #[must_use]
     pub fn summary(&self) -> (f64, f64, f64) {
-        (self.quantile(50.0), self.quantile(95.0), self.quantile(99.0))
+        (
+            self.quantile(50.0),
+            self.quantile(95.0),
+            self.quantile(99.0),
+        )
     }
 
     /// Absorb all samples of `other`.
@@ -363,7 +377,11 @@ impl Table {
     /// # Panics
     /// Panics if the cell count differs from the header count.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "cell count must match headers");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "cell count must match headers"
+        );
         self.rows.push(cells);
     }
 
@@ -401,7 +419,10 @@ impl Table {
             let _ = writeln!(
                 out,
                 "{}",
-                row.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(",")
+                row.iter()
+                    .map(|c| csv_escape(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
             );
         }
         out
@@ -463,6 +484,58 @@ mod tests {
         assert_eq!(percentile(&xs, 50.0), 3.0);
         assert_eq!(percentile(&xs, 100.0), 5.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn min_max_keep_negative_data() {
+        // Regression: max/min used to clamp legitimate negative values to
+        // zero (log-ratio heatmap grids go negative). Only the empty slice
+        // maps to 0.
+        let xs = [-5.0, -3.0, -4.5];
+        assert_eq!(max(&xs), -3.0);
+        assert_eq!(min(&xs), -5.0);
+        assert_eq!(max(&[-0.25]), -0.25);
+        assert_eq!(min(&[-0.25]), -0.25);
+        assert_eq!(max(&[]), 0.0);
+        assert_eq!(min(&[]), 0.0);
+        // Mixed-sign data keeps both extremes.
+        let mixed = [-2.0, 0.5, -7.0, 3.0];
+        assert_eq!(max(&mixed), 3.0);
+        assert_eq!(min(&mixed), -7.0);
+    }
+
+    #[test]
+    fn heatmap_min_max_handle_negative_cells() {
+        // Heatmap::min/max delegate to the helpers; a log2-ratio grid that
+        // is entirely below zero must report its true extremes.
+        let mut h = Heatmap::new("log2 ratio", "r", "c", vec!["a".into(), "b".into()]);
+        h.push_row("x", vec![-1.5, -0.5]);
+        assert_eq!(h.max(), -0.5);
+        assert_eq!(h.min(), -1.5);
+    }
+
+    #[test]
+    fn percentile_boundaries_pin_the_rounded_rank_definition() {
+        // The pinned definition: sorted index = round(p/100 * (n-1)).
+        // p = 0 and p = 100 are exactly the min and max...
+        let xs = [10.0, 30.0, 20.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        // ...a single sample answers every p...
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[7.0], 100.0), 7.0);
+        // ...and two samples split at p = 50, which rounds half away from
+        // zero onto the larger sample.
+        let two = [1.0, 9.0];
+        assert_eq!(percentile(&two, 49.0), 1.0);
+        assert_eq!(percentile(&two, 50.0), 9.0);
+        assert_eq!(percentile(&two, 51.0), 9.0);
+        // n = 100 samples 1..=100: index = round(p * 0.99).
+        let hundred: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&hundred, 50.0), 51.0);
+        assert_eq!(percentile(&hundred, 95.0), 95.0);
+        assert_eq!(percentile(&hundred, 99.0), 99.0);
     }
 
     #[test]
@@ -550,12 +623,7 @@ mod tests {
 
     #[test]
     fn heatmap_stats_and_render() {
-        let mut h = Heatmap::new(
-            "Fig X",
-            "batch",
-            "len",
-            vec!["25".into(), "100".into()],
-        );
+        let mut h = Heatmap::new("Fig X", "batch", "len", vec!["25".into(), "100".into()]);
         h.push_row("1", vec![1.0, 2.0]);
         h.push_row("64", vec![3.0, 4.0]);
         assert_eq!(h.shape(), (2, 2));

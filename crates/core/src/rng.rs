@@ -128,7 +128,9 @@ mod tests {
     fn weighted_choice_prefers_heavy_weights() {
         let mut rng = seeded(7);
         let choices = [(1usize, 0.01), (2usize, 0.99)];
-        let picks: Vec<usize> = (0..1000).map(|_| weighted_choice(&mut rng, &choices)).collect();
+        let picks: Vec<usize> = (0..1000)
+            .map(|_| weighted_choice(&mut rng, &choices))
+            .collect();
         let twos = picks.iter().filter(|&&p| p == 2).count();
         assert!(twos > 900);
     }

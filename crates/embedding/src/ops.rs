@@ -101,9 +101,10 @@ pub fn reference_forward(
     let mut out = Tensor::zeros([lookup.batch, cfg.tables * cfg.dim], cfg.dtype);
     for (t, table) in tables.iter().enumerate() {
         let rows = table.shape().dim(0);
-        let list = lookup.indices.get(t).ok_or_else(|| {
-            DcmError::InvalidConfig(format!("missing index list for table {t}"))
-        })?;
+        let list = lookup
+            .indices
+            .get(t)
+            .ok_or_else(|| DcmError::InvalidConfig(format!("missing index list for table {t}")))?;
         for s in 0..lookup.batch {
             for p in 0..cfg.pooling {
                 let idx = *list.get(s * cfg.pooling + p).ok_or_else(|| {
@@ -420,7 +421,10 @@ mod tests {
         };
         let b2 = util_at(&batched, 2);
         let b16 = util_at(&batched, 16);
-        assert!(b16 > 1.5 * b2, "batched should scale with tables: {b2} -> {b16}");
+        assert!(
+            b16 > 1.5 * b2,
+            "batched should scale with tables: {b2} -> {b16}"
+        );
         let s2 = util_at(&single, 2);
         let s16 = util_at(&single, 16);
         assert!(

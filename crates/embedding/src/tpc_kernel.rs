@@ -315,8 +315,8 @@ mod tests {
             &mut r,
         )];
         let lookup = LookupBatch::random(&cfg, 1, &mut r);
-        let err = single_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg)
-            .unwrap_err();
+        let err =
+            single_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg).unwrap_err();
         assert!(matches!(err, DcmError::ResourceExhausted(_)));
     }
 
@@ -324,9 +324,7 @@ mod tests {
     fn validates_table_count() {
         let (cfg, mut tables, lookup) = setup(35);
         tables.pop();
-        assert!(
-            single_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg).is_err()
-        );
+        assert!(single_table_tpc_forward(&DeviceSpec::gaudi2(), &tables, &lookup, &cfg).is_err());
         let (cfg2, mut tables2, lookup2) = setup(36);
         tables2.pop();
         assert!(

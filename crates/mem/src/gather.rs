@@ -184,8 +184,7 @@ mod tests {
     #[test]
     fn functional_scatter_last_write_wins() {
         let mut target = Tensor::zeros([4, 2], DType::Fp32);
-        let values =
-            Tensor::from_vec([3, 2], DType::Fp32, vec![1., 1., 2., 2., 3., 3.]).unwrap();
+        let values = Tensor::from_vec([3, 2], DType::Fp32, vec![1., 1., 2., 2., 3., 3.]).unwrap();
         gaudi().scatter(&mut target, &[1, 3, 1], &values).unwrap();
         assert_eq!(target.row(1), &[3., 3.]); // index 1 written twice
         assert_eq!(target.row(3), &[2., 2.]);
@@ -244,6 +243,9 @@ mod tests {
         let g = gaudi();
         let low = g.gather_utilization(64, 256);
         let high = g.gather_utilization(1 << 20, 256);
-        assert!(low < high * 0.25, "low-count gather should underutilize: {low} vs {high}");
+        assert!(
+            low < high * 0.25,
+            "low-count gather should underutilize: {low} vs {high}"
+        );
     }
 }

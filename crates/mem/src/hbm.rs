@@ -206,8 +206,14 @@ mod tests {
 
     #[test]
     fn zero_access_is_free() {
-        assert_eq!(gaudi().access(0, 64, AccessPattern::Random), MemCost::zero());
-        assert_eq!(gaudi().access(10, 0, AccessPattern::Stream), MemCost::zero());
+        assert_eq!(
+            gaudi().access(0, 64, AccessPattern::Random),
+            MemCost::zero()
+        );
+        assert_eq!(
+            gaudi().access(10, 0, AccessPattern::Stream),
+            MemCost::zero()
+        );
     }
 
     #[test]
@@ -253,7 +259,10 @@ mod tests {
             let peak = m.memory().hbm_bandwidth_bps;
             sizes
                 .iter()
-                .map(|&s| m.access(count, s, AccessPattern::Random).bandwidth_utilization(peak))
+                .map(|&s| {
+                    m.access(count, s, AccessPattern::Random)
+                        .bandwidth_utilization(peak)
+                })
                 .sum::<f64>()
                 / sizes.len() as f64
         };
@@ -316,7 +325,9 @@ mod tests {
 
     #[test]
     fn into_op_cost_is_memory_only() {
-        let c = gaudi().access(10, 256, AccessPattern::Stream).into_op_cost();
+        let c = gaudi()
+            .access(10, 256, AccessPattern::Stream)
+            .into_op_cost();
         assert_eq!(c.compute_s, 0.0);
         assert!(c.memory_s > 0.0);
         assert_eq!(c.flops, 0.0);

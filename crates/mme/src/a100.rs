@@ -172,8 +172,7 @@ impl A100TensorCore {
             / (self.clock_hz * SUSTAINED_FRACTION)
             + LAUNCH_OVERHEAD_S;
         // Split-K kernels write and re-read partial sums in FP32.
-        let bytes =
-            shape.ideal_bytes(dtype) * batch as u64 + self.splitk_bytes(shape, tile, batch);
+        let bytes = shape.ideal_bytes(dtype) * batch as u64 + self.splitk_bytes(shape, tile, batch);
         let memory_s = bytes as f64 / self.stream_bw;
         GemmRun {
             cost: OpCost {
@@ -184,10 +183,7 @@ impl A100TensorCore {
                 bus_bytes: bytes,
                 useful_bytes: bytes,
             },
-            config: format!(
-                "cta{}x{}k{}b{batch}",
-                tile.height, tile.width, tile.split_k
-            ),
+            config: format!("cta{}x{}k{}b{batch}", tile.height, tile.width, tile.split_k),
             powered_fraction: 1.0,
         }
     }
@@ -233,7 +229,10 @@ mod tests {
         let au = a.utilization(shape, DType::Bf16);
         let gu = g.utilization(shape, DType::Bf16);
         assert!(au > 0.80, "a100 util {au}");
-        assert!(gu > au, "Figure 5: Gaudi-2 out-utilizes A100 ({gu} vs {au})");
+        assert!(
+            gu > au,
+            "Figure 5: Gaudi-2 out-utilizes A100 ({gu} vs {au})"
+        );
     }
 
     #[test]
@@ -306,7 +305,10 @@ mod tests {
     fn tile_selection_adapts_to_shape() {
         let a = tc();
         let skinny = a.select_tile(GemmShape::new(8192, 8192, 64), 1, DType::Bf16);
-        assert!(skinny.width <= 128, "skinny GEMM picks narrow tiles: {skinny:?}");
+        assert!(
+            skinny.width <= 128,
+            "skinny GEMM picks narrow tiles: {skinny:?}"
+        );
         let square = a.select_tile(GemmShape::square(8192), 1, DType::Bf16);
         assert!(square.height * square.width >= 128 * 128);
         assert_eq!(square.split_k, 1, "no split-K needed for square GEMMs");

@@ -262,7 +262,10 @@ mod tests {
             max_gain = max_gain.max(cfg - fix);
         }
         assert!(max_gain > 0.05, "max gain {max_gain}");
-        assert!(max_gain < 0.30, "max gain {max_gain} too large to be credible");
+        assert!(
+            max_gain < 0.30,
+            "max gain {max_gain} too large to be credible"
+        );
     }
 
     #[test]

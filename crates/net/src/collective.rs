@@ -168,7 +168,9 @@ impl CollectiveModel {
     /// devices active, after protocol efficiency.
     #[must_use]
     pub fn effective_bandwidth(&self, coll: Collective, participants: usize) -> f64 {
-        let raw = self.fabric.usable_bandwidth(participants, self.total_devices);
+        let raw = self
+            .fabric
+            .usable_bandwidth(participants, self.total_devices);
         let eff = if coll == Collective::Broadcast {
             self.tuning.efficiency * self.tuning.broadcast_efficiency
         } else {

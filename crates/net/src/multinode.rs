@@ -95,7 +95,8 @@ impl MultiNodeModel {
         // Each device all-reduces its shard across its rail.
         let shard = (bytes / self.devices_per_node as u64).max(1);
         let n = self.nodes as f64;
-        let inter_beta = shard as f64 * 2.0 * (n - 1.0) / n
+        let inter_beta = shard as f64 * 2.0 * (n - 1.0)
+            / n
             / (self.inter_bps_per_device * INTER_NODE_EFFICIENCY);
         let inter_alpha = 2.0 * (self.nodes - 1) as f64 * INTER_NODE_ALPHA_S;
         rs + inter_beta + inter_alpha + ag
@@ -125,8 +126,7 @@ mod tests {
     #[test]
     fn single_node_matches_intra_model() {
         let m = gaudi(1);
-        let direct = CollectiveModel::new(&DeviceSpec::gaudi2())
-            .time(Collective::AllReduce, GB, 8);
+        let direct = CollectiveModel::new(&DeviceSpec::gaudi2()).time(Collective::AllReduce, GB, 8);
         assert!((m.allreduce_time(GB) - direct).abs() < 1e-12);
     }
 

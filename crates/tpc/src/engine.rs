@@ -200,11 +200,7 @@ impl VectorEngineModel {
     #[must_use]
     pub fn cycles_per_iter(&self, kernel: &StreamKernel) -> f64 {
         let unit_instrs = kernel.granularity.div_ceil(self.vector_bytes).max(1) as f64;
-        let slot = kernel
-            .loads
-            .max(kernel.stores)
-            .max(kernel.computes) as f64
-            * unit_instrs;
+        let slot = kernel.loads.max(kernel.stores).max(kernel.computes) as f64 * unit_instrs;
         if self.instr_latency == 0 {
             return slot;
         }
@@ -222,8 +218,8 @@ impl VectorEngineModel {
     pub fn mem_time_per_iter(&self, kernel: &StreamKernel, cores_used: usize) -> f64 {
         let per_access_bus = round_up(kernel.granularity, self.min_access_bytes) as u64;
         let bus = per_access_bus * (kernel.loads + kernel.stores) as u64;
-        let bw = (cores_used as f64 * self.per_core_bw).min(self.chip_stream_bw)
-            / cores_used as f64;
+        let bw =
+            (cores_used as f64 * self.per_core_bw).min(self.chip_stream_bw) / cores_used as f64;
         bus as f64 / bw
     }
 
@@ -422,11 +418,17 @@ mod tests {
             DType::Bf16,
         );
         let g_triad = g.throughput(
-            &StreamKernel::triad().with_intensity_scale(512).with_unroll(8),
+            &StreamKernel::triad()
+                .with_intensity_scale(512)
+                .with_unroll(8),
             24,
             DType::Bf16,
         );
-        assert!((a_triad / g_triad - 3.5).abs() < 0.4, "gap {}", a_triad / g_triad);
+        assert!(
+            (a_triad / g_triad - 3.5).abs() < 0.4,
+            "gap {}",
+            a_triad / g_triad
+        );
         assert!((a_triad - 38.2e12).abs() < 3e12, "a100 triad {a_triad}");
     }
 

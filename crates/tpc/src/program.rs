@@ -213,10 +213,7 @@ impl<'a> TpcContext<'a> {
     }
 
     fn record_access(&mut self, side: TensorSide, offset: usize, elems: usize, bytes: usize) {
-        let sequential = self
-            .last_end
-            .get(&side)
-            .is_none_or(|&end| end == offset);
+        let sequential = self.last_end.get(&side).is_none_or(|&end| end == offset);
         self.last_end.insert(side, offset + elems);
         if sequential {
             self.counters.stream_accesses += 1;
@@ -315,12 +312,7 @@ impl<'a> TpcContext<'a> {
         let id = self.fresh_reg();
         self.record(Slot::Vpu, &[a.id, b.id], Some(id), n);
         Ok(VecReg {
-            data: a
-                .data
-                .iter()
-                .zip(&b.data)
-                .map(|(&x, &y)| f(x, y))
-                .collect(),
+            data: a.data.iter().zip(&b.data).map(|(&x, &y)| f(x, y)).collect(),
             id,
         })
     }
@@ -876,19 +868,18 @@ mod tests {
             let idx = rng::uniform_indices(&mut r, 512, 4096);
             let space = IndexSpace::linear(512);
             let idx_clone = idx.clone();
-            
-            exec
-                .launch(
-                    &move |ctx: &mut TpcContext<'_>, m: IndexMember| {
-                        let row = idx_clone[m.coord(0)];
-                        let x = ctx.ld_tnsr(0, row * 16, 16)?;
-                        ctx.st_tnsr(0, m.coord(0) * 16, &x)
-                    },
-                    &space,
-                    &[&table],
-                    &[TensorDesc::new([512 * 16], DType::Fp32)],
-                )
-                .unwrap()
+
+            exec.launch(
+                &move |ctx: &mut TpcContext<'_>, m: IndexMember| {
+                    let row = idx_clone[m.coord(0)];
+                    let x = ctx.ld_tnsr(0, row * 16, 16)?;
+                    ctx.st_tnsr(0, m.coord(0) * 16, &x)
+                },
+                &space,
+                &[&table],
+                &[TensorDesc::new([512 * 16], DType::Fp32)],
+            )
+            .unwrap()
         };
         let g = run(&DeviceSpec::gaudi2());
         let a = run(&DeviceSpec::a100());
@@ -946,8 +937,8 @@ mod tests {
                     let x = ctx.ld_tnsr(0, 0, 4)?;
                     let zero = VecReg::zeros(4);
                     let relu = ctx.v_max(&x, &zero)?; // ReLU via max
-                    // Mask selects original where positive, zero elsewhere:
-                    // identical to the ReLU above.
+                                                      // Mask selects original where positive, zero elsewhere:
+                                                      // identical to the ReLU above.
                     let sel = ctx.v_select(&relu, &x, &zero)?;
                     let diff = ctx.v_sub(&relu, &sel)?;
                     ctx.st_tnsr(0, 0, &diff)

@@ -75,7 +75,10 @@ impl PagedAttention {
     /// Panics if `tp` does not divide the query heads.
     #[must_use]
     pub fn new(device: &Device, backend: PagedBackend, cfg: &LlamaConfig, tp: usize) -> Self {
-        assert!(tp >= 1 && cfg.q_heads.is_multiple_of(tp), "tp must divide q_heads");
+        assert!(
+            tp >= 1 && cfg.q_heads.is_multiple_of(tp),
+            "tp must divide q_heads"
+        );
         PagedAttention {
             hbm: HbmModel::new(device.spec()),
             device: device.clone(),
@@ -133,8 +136,7 @@ impl PagedAttention {
         let natural_padded = batch * blocks.iter().max().copied().unwrap_or(1);
         let padded = ((effectual as f64 / (1.0 - extra_padding)) as usize).max(natural_padded);
         let mean_len = seq_lens.iter().sum::<usize>() / batch;
-        let padded_len =
-            (padded as f64 / batch as f64 * self.block_tokens as f64) as usize;
+        let padded_len = (padded as f64 / batch as f64 * self.block_tokens as f64) as usize;
 
         let per_layer = match self.backend {
             PagedBackend::GaudiBase => self.base_layer_cost(batch, padded, padded_len),
@@ -172,8 +174,7 @@ impl PagedAttention {
         let gathers = padded_blocks * 2; // K and V
         let reads = self.hbm.access(gathers, bb, AccessPattern::Random);
         let writes = self.hbm.access(gathers, bb, AccessPattern::Stream);
-        let gather_wall =
-            gathers as f64 * PYTORCH_OP_OVERHEAD_S + reads.time_s + writes.time_s;
+        let gather_wall = gathers as f64 * PYTORCH_OP_OVERHEAD_S + reads.time_s + writes.time_s;
 
         // FusedSDPA per request over the padded, contiguous KV: one
         // score/value product per KV-head group, launched per request.
@@ -341,7 +342,10 @@ mod tests {
             base.decode_cost(&skewed, 0.0).time() / base.decode_cost(&uniform, 0.0).time();
         let opt_ratio =
             opt.decode_cost(&skewed, 0.0).time() / opt.decode_cost(&uniform, 0.0).time();
-        assert!(base_ratio > 0.9, "baseline insensitive to skew: {base_ratio}");
+        assert!(
+            base_ratio > 0.9,
+            "baseline insensitive to skew: {base_ratio}"
+        );
         assert!(opt_ratio < 0.5, "opt benefits from skew: {opt_ratio}");
     }
 

@@ -246,7 +246,8 @@ impl BlockStore {
     ) -> Result<Tensor> {
         // Gather the padded row in full (the baseline's redundancy)...
         let padded_row = table.row(i);
-        let (_k_padded, _v_padded) = self.assemble(padded_row, padded_row.len() * self.block_tokens)?;
+        let (_k_padded, _v_padded) =
+            self.assemble(padded_row, padded_row.len() * self.block_tokens)?;
         // ...then compute on the effectual prefix only.
         let effectual = &padded_row[..table.effectual_of(i)];
         self.attend(query, effectual, tokens)
@@ -326,8 +327,14 @@ mod tests {
             let dense = store.attend(&q, &seqs[i], lens[i]).unwrap();
             let via_table = store.attend_block_table(&q, &table, i, lens[i]).unwrap();
             let via_list = store.attend_block_list(&q, &list, i, lens[i]).unwrap();
-            assert!(dense.max_abs_diff(&via_table).unwrap() < 1e-5, "seq {i} table");
-            assert!(dense.max_abs_diff(&via_list).unwrap() < 1e-5, "seq {i} list");
+            assert!(
+                dense.max_abs_diff(&via_table).unwrap() < 1e-5,
+                "seq {i} table"
+            );
+            assert!(
+                dense.max_abs_diff(&via_list).unwrap() < 1e-5,
+                "seq {i} list"
+            );
         }
     }
 

@@ -23,12 +23,25 @@
 //! Determinism: replicas are advanced and ties broken in replica-index
 //! order, and every engine is seeded purely by the trace, so a given
 //! (trace, policy, replica count) replays bit-identically.
+//!
+//! Resilience ([`Cluster::run_resilient`]): the same event loop
+//! additionally replays a [`FaultPlan`] — replica crashes (with optional
+//! cold recovery) and transient slowdown windows — on the shared clock.
+//! A crashed replica's queued and in-flight requests are re-dispatched to
+//! survivors (restarting from scratch, recompute-mode) within a capped
+//! retry budget, a [`ShedPolicy`](crate::fault::ShedPolicy) can reject
+//! arrivals when the least-loaded replica is already past a queue or
+//! KV-pressure threshold, and the report gains goodput / SLO-attainment /
+//! shed / failed accounting. `run` is exactly `run_resilient` with the
+//! empty plan and default config, bit for bit.
 
 use crate::dataset::Request;
-use crate::engine::{ServingEngine, ServingReport, SimState};
+use crate::engine::{self, ServingEngine, ServingReport, SimState};
+use crate::fault::{FaultPlan, ResilienceConfig, TimelineEvent, TimelineKind};
 use dcm_core::error::{DcmError, Result};
 use dcm_core::metrics::LatencyRecorder;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// How the cluster assigns an arriving request to a replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,9 +71,11 @@ impl RoutingPolicy {
 /// Per-replica accounting of one cluster run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ReplicaStats {
-    /// Requests routed to this replica.
+    /// Requests routed to this replica, including crash-displaced
+    /// re-dispatches from other replicas.
     pub dispatched: usize,
-    /// Requests it completed (equals `dispatched` on a drained run).
+    /// Requests it completed (equals `dispatched` on a fault-free
+    /// drained run).
     pub completed: usize,
     /// Output tokens it produced.
     pub output_tokens: usize,
@@ -70,6 +85,9 @@ pub struct ReplicaStats {
     pub utilization: f64,
     /// Recompute-mode preemptions on this replica.
     pub preemptions: usize,
+    /// Times this replica crashed under the fault plan (0 on a
+    /// fault-free run).
+    pub crashes: usize,
 }
 
 /// Aggregate result of one cluster run: cluster-wide serving metrics plus
@@ -94,16 +112,25 @@ impl ClusterReport {
         if self.per_replica.is_empty() {
             return 0.0;
         }
-        self.per_replica.iter().map(|r| r.utilization).sum::<f64>()
-            / self.per_replica.len() as f64
+        self.per_replica.iter().map(|r| r.utilization).sum::<f64>() / self.per_replica.len() as f64
     }
 
     /// Largest relative spread in dispatched requests across replicas —
     /// 0.0 is a perfectly even split.
     #[must_use]
     pub fn dispatch_imbalance(&self) -> f64 {
-        let max = self.per_replica.iter().map(|r| r.dispatched).max().unwrap_or(0);
-        let min = self.per_replica.iter().map(|r| r.dispatched).min().unwrap_or(0);
+        let max = self
+            .per_replica
+            .iter()
+            .map(|r| r.dispatched)
+            .max()
+            .unwrap_or(0);
+        let min = self
+            .per_replica
+            .iter()
+            .map(|r| r.dispatched)
+            .min()
+            .unwrap_or(0);
         if max == 0 {
             0.0
         } else {
@@ -176,27 +203,110 @@ impl Cluster {
         self.replicas.is_empty()
     }
 
-    fn route(&self, sims: &[SimState], rr_next: usize) -> usize {
+    /// Pick a live replica for the next dispatch, or `None` during a
+    /// total outage. With every replica alive this reproduces the
+    /// fault-free policy decisions exactly (ties to the lowest index).
+    fn route(&self, sims: &[SimState], alive: &[bool], rr_next: usize) -> Option<usize> {
+        let live = alive.iter().filter(|a| **a).count();
+        if live == 0 {
+            return None;
+        }
         match self.policy {
-            RoutingPolicy::RoundRobin => rr_next % sims.len(),
+            RoutingPolicy::RoundRobin => {
+                // Stripe over the live replicas only, in index order.
+                let k = rr_next % live;
+                alive
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| **a)
+                    .map(|(i, _)| i)
+                    .nth(k)
+            }
             RoutingPolicy::JoinShortestQueue => sims
                 .iter()
                 .enumerate()
+                .filter(|(i, _)| alive[*i])
                 .min_by_key(|(_, s)| s.queue_depth())
-                .map(|(i, _)| i)
-                .expect("non-empty cluster"),
+                .map(|(i, _)| i),
             RoutingPolicy::LeastLoadedKv => sims
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    a.kv_used_fraction().total_cmp(&b.kv_used_fraction())
-                })
-                .map(|(i, _)| i)
-                .expect("non-empty cluster"),
+                .filter(|(i, _)| alive[*i])
+                .min_by(|(_, a), (_, b)| a.kv_used_fraction().total_cmp(&b.kv_used_fraction()))
+                .map(|(i, _)| i),
         }
     }
 
-    /// Serve `requests` across the replicas to completion.
+    /// Advance every live replica's simulation to instant `t`.
+    fn advance_live(&mut self, st: &mut RunState, t: f64) -> Result<()> {
+        for (i, (engine, sim)) in self.replicas.iter_mut().zip(st.sims.iter_mut()).enumerate() {
+            if st.alive[i] {
+                engine.sim_advance(sim, t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Apply one fault-timeline event at its instant.
+    fn apply_fault(
+        &mut self,
+        st: &mut RunState,
+        ev: &TimelineEvent,
+        cfg: &ResilienceConfig,
+    ) -> Result<()> {
+        match ev.kind {
+            TimelineKind::Crash { replica } => {
+                if !st.alive[replica] {
+                    return Ok(()); // already down
+                }
+                // Survivors' state must be current at the crash instant:
+                // re-routing decisions observe it.
+                self.advance_live(st, ev.t)?;
+                st.alive[replica] = false;
+                st.crashes[replica] += 1;
+                let (orphans, lost) = st.sims[replica].drain_unfinished()?;
+                st.lost_tokens += lost;
+                for r in orphans {
+                    let tries = st.attempts.entry(r.id).or_insert(0);
+                    *tries += 1;
+                    if *tries > cfg.max_retries {
+                        st.failed += 1;
+                        continue;
+                    }
+                    // Crash-displaced work is never shed: it was already
+                    // admitted once.
+                    match self.route(&st.sims, &st.alive, st.rr) {
+                        None => st.failed += 1,
+                        Some(target) => {
+                            st.retries += 1;
+                            st.rr += 1;
+                            st.dispatched[target] += 1;
+                            // Original arrival time kept: the retry's
+                            // latency is client-perceived, spanning the
+                            // lost attempt.
+                            st.sims[target].enqueue(r);
+                        }
+                    }
+                }
+            }
+            TimelineKind::Recover { replica } => {
+                // Cold rejoin: queues and KV were drained at the crash;
+                // the replica's clock catches up at its next dispatch.
+                st.alive[replica] = true;
+            }
+            TimelineKind::SlowStart { replica, factor } => {
+                self.advance_live(st, ev.t)?;
+                st.sims[replica].set_time_scale(factor);
+            }
+            TimelineKind::SlowEnd { replica } => {
+                self.advance_live(st, ev.t)?;
+                st.sims[replica].set_time_scale(1.0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Serve `requests` across the replicas to completion, fault-free.
     ///
     /// The trace is replayed in global arrival order. At each arrival
     /// every replica's simulation is advanced to the arrival instant (so
@@ -205,47 +315,109 @@ impl Cluster {
     /// its queue. After the last arrival every replica drains.
     ///
     /// With one replica and an all-zero-arrival trace this is exactly
-    /// [`ServingEngine::run`] — the offline Figure 17 path.
+    /// [`ServingEngine::run`] — the offline Figure 17 path. Equivalent to
+    /// [`Cluster::run_resilient`] with [`FaultPlan::none`] and the
+    /// default [`ResilienceConfig`], bit for bit.
     ///
     /// # Errors
     /// Returns [`DcmError::InvalidConfig`] for an empty trace and
     /// propagates any replica error (e.g. a request exceeding a
     /// replica's KV capacity).
     pub fn run(&mut self, requests: &[Request]) -> Result<ClusterReport> {
+        self.run_resilient(requests, &FaultPlan::none(), &ResilienceConfig::default())
+    }
+
+    /// Serve `requests` while replaying `plan`'s replica faults on the
+    /// shared clock, under `cfg`'s shedding/retry/SLO policy.
+    ///
+    /// Event order is deterministic: fault events due at or before an
+    /// arrival apply first (so a replica crashing at the arrival instant
+    /// cannot receive it), every live replica is advanced to each event's
+    /// instant before it takes effect, and all ties break by replica
+    /// index. Each offered request ends in exactly one of three buckets —
+    /// completed, shed (admission control), or failed (crash retries
+    /// exhausted, or no replica alive) — so
+    /// `completed + shed + failed == offered` always holds, and
+    /// `total_output_tokens - lost_tokens` is exactly the token count of
+    /// completed requests.
+    ///
+    /// # Errors
+    /// Returns [`DcmError::InvalidConfig`] for an empty trace or an
+    /// invalid plan (see [`FaultPlan::validate`]) and propagates any
+    /// replica error.
+    pub fn run_resilient(
+        &mut self,
+        requests: &[Request],
+        plan: &FaultPlan,
+        cfg: &ResilienceConfig,
+    ) -> Result<ClusterReport> {
         if requests.is_empty() {
             return Err(DcmError::InvalidConfig("empty request trace".to_owned()));
         }
+        plan.validate(self.replicas.len())?;
         let mut ordered: Vec<Request> = requests.to_vec();
         ordered.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+        let timeline = plan.timeline();
 
-        let mut sims: Vec<SimState> = self
-            .replicas
-            .iter()
-            .map(ServingEngine::make_sim)
-            .collect::<Result<_>>()?;
-        let mut dispatched = vec![0usize; sims.len()];
+        let n = self.replicas.len();
+        let mut st = RunState {
+            sims: self
+                .replicas
+                .iter()
+                .map(ServingEngine::make_sim)
+                .collect::<Result<_>>()?,
+            alive: vec![true; n],
+            dispatched: vec![0usize; n],
+            crashes: vec![0usize; n],
+            attempts: HashMap::new(),
+            rr: 0,
+            shed: 0,
+            failed: 0,
+            retries: 0,
+            lost_tokens: 0,
+        };
 
-        for (k, r) in ordered.into_iter().enumerate() {
-            for (engine, sim) in self.replicas.iter_mut().zip(sims.iter_mut()) {
-                engine.sim_advance(sim, r.arrival_s)?;
+        let mut next_fault = 0usize;
+        for r in ordered {
+            while next_fault < timeline.len() && timeline[next_fault].t <= r.arrival_s {
+                let ev = timeline[next_fault];
+                self.apply_fault(&mut st, &ev, cfg)?;
+                next_fault += 1;
             }
-            let target = self.route(&sims, k);
-            dispatched[target] += 1;
-            sims[target].enqueue(r);
+            self.advance_live(&mut st, r.arrival_s)?;
+            match self.route(&st.sims, &st.alive, st.rr) {
+                // Total outage: no replica can accept the request.
+                None => st.failed += 1,
+                Some(target) => {
+                    let sim = &st.sims[target];
+                    if cfg.shed.rejects(sim.queue_depth(), sim.kv_used_fraction()) {
+                        st.shed += 1;
+                    } else {
+                        st.rr += 1;
+                        st.dispatched[target] += 1;
+                        st.sims[target].enqueue(r);
+                    }
+                }
+            }
         }
-        for (engine, sim) in self.replicas.iter_mut().zip(sims.iter_mut()) {
-            engine.sim_advance(sim, f64::INFINITY)?;
-            debug_assert!(sim.is_drained(), "drained run left work behind");
+        // Faults scheduled after the last arrival still apply — a crash
+        // during the drain phase displaces work like any other.
+        while next_fault < timeline.len() {
+            let ev = timeline[next_fault];
+            self.apply_fault(&mut st, &ev, cfg)?;
+            next_fault += 1;
         }
-
-        Ok(self.aggregate(&sims, &dispatched))
+        for (i, (engine, sim)) in self.replicas.iter_mut().zip(st.sims.iter_mut()).enumerate() {
+            if st.alive[i] {
+                engine.sim_advance(sim, f64::INFINITY)?;
+            }
+            debug_assert!(sim.is_drained(), "run left work behind");
+        }
+        Ok(self.aggregate(&st, cfg))
     }
 
-    fn aggregate(&self, sims: &[SimState], dispatched: &[usize]) -> ClusterReport {
-        let total_time_s = sims
-            .iter()
-            .map(SimState::now)
-            .fold(0.0_f64, f64::max);
+    fn aggregate(&self, st: &RunState, cfg: &ResilienceConfig) -> ClusterReport {
+        let total_time_s = st.sims.iter().map(SimState::now).fold(0.0_f64, f64::max);
         let mut ttft = LatencyRecorder::new();
         let mut tpot = LatencyRecorder::new();
         let mut queue_delay = LatencyRecorder::new();
@@ -253,8 +425,10 @@ impl Cluster {
         let mut total_output = 0;
         let mut peak_batch = 0;
         let mut preemptions = 0;
-        let mut per_replica = Vec::with_capacity(sims.len());
-        for (sim, &n) in sims.iter().zip(dispatched) {
+        let mut met_requests = 0;
+        let mut met_tokens = 0;
+        let mut per_replica = Vec::with_capacity(st.sims.len());
+        for (i, sim) in st.sims.iter().enumerate() {
             ttft.merge(&sim.ttft);
             tpot.merge(&sim.tpot);
             queue_delay.merge(&sim.queue_delay);
@@ -262,8 +436,11 @@ impl Cluster {
             total_output += sim.total_output_tokens();
             peak_batch = peak_batch.max(sim.peak_batch());
             preemptions += sim.preemptions();
+            let (mr, mt) = engine::slo_met(&sim.finished, &cfg.slo);
+            met_requests += mr;
+            met_tokens += mt;
             per_replica.push(ReplicaStats {
-                dispatched: n,
+                dispatched: st.dispatched[i],
                 completed: sim.completed(),
                 output_tokens: sim.total_output_tokens(),
                 busy_s: sim.busy_s,
@@ -273,15 +450,17 @@ impl Cluster {
                     0.0
                 },
                 preemptions: sim.preemptions(),
+                crashes: st.crashes[i],
             });
         }
         let (p50_ttft_s, p95_ttft_s, p99_ttft_s) = ttft.summary();
         let (p50_tpot_s, p95_tpot_s, p99_tpot_s) = tpot.summary();
+        let offered = completed + st.shed + st.failed;
         let serving = ServingReport {
             completed,
             total_output_tokens: total_output,
             total_time_s,
-            throughput_tps: total_output as f64 / total_time_s,
+            throughput_tps: engine::safe_rate(total_output, total_time_s),
             mean_ttft_s: ttft.mean(),
             mean_tpot_s: tpot.mean(),
             p50_ttft_s,
@@ -294,6 +473,12 @@ impl Cluster {
             p99_queue_delay_s: queue_delay.quantile(99.0),
             peak_batch,
             preemptions,
+            shed: st.shed,
+            failed: st.failed,
+            retries: st.retries,
+            lost_tokens: st.lost_tokens,
+            goodput_tps: engine::safe_rate(met_tokens, total_time_s),
+            slo_attainment: engine::attainment(met_requests, offered),
         };
         ClusterReport {
             serving,
@@ -301,6 +486,25 @@ impl Cluster {
             policy: self.policy,
         }
     }
+}
+
+/// The mutable state of one resilient cluster run: per-replica
+/// simulations and liveness, dispatch bookkeeping, and the resilience
+/// counters that feed the report.
+struct RunState {
+    sims: Vec<SimState>,
+    alive: Vec<bool>,
+    dispatched: Vec<usize>,
+    crashes: Vec<usize>,
+    /// Crash-displacement count per request id, judged against the retry
+    /// budget.
+    attempts: HashMap<u64, usize>,
+    /// Monotone dispatch counter driving round-robin striping.
+    rr: usize,
+    shed: usize,
+    failed: usize,
+    retries: usize,
+    lost_tokens: usize,
 }
 
 #[cfg(test)]
@@ -374,8 +578,7 @@ mod tests {
             let report = cluster(3, policy).run(&reqs).unwrap();
             assert_eq!(report.serving.completed, 20, "{policy:?}");
             assert_eq!(report.serving.total_output_tokens, expected, "{policy:?}");
-            let by_replica: usize =
-                report.per_replica.iter().map(|r| r.output_tokens).sum();
+            let by_replica: usize = report.per_replica.iter().map(|r| r.output_tokens).sum();
             assert_eq!(by_replica, expected, "{policy:?}");
         }
     }
@@ -389,10 +592,7 @@ mod tests {
         // pinned replica.
         let mut reqs = vec![crate::dataset::Request::new(0, 1024, 4000)];
         for i in 1..9 {
-            reqs.push(
-                crate::dataset::Request::new(i, 128, 32)
-                    .with_arrival(i as f64 * 2.0),
-            );
+            reqs.push(crate::dataset::Request::new(i, 128, 32).with_arrival(i as f64 * 2.0));
         }
         let jsq = cluster(2, RoutingPolicy::JoinShortestQueue)
             .run(&reqs)
@@ -478,5 +678,242 @@ mod tests {
             .run(&reqs)
             .unwrap();
         assert_eq!(report.serving.total_output_tokens, expected);
+    }
+
+    // ---- fault injection & resilience ------------------------------------
+
+    use crate::fault::{FaultPlan, ResilienceConfig, ShedPolicy};
+
+    #[test]
+    fn fault_free_plan_matches_run_bit_for_bit() {
+        let reqs = online_trace(24, 17, 10.0);
+        for policy in [
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::JoinShortestQueue,
+            RoutingPolicy::LeastLoadedKv,
+        ] {
+            let plain = cluster(3, policy).run(&reqs).unwrap();
+            let resilient = cluster(3, policy)
+                .run_resilient(&reqs, &FaultPlan::none(), &ResilienceConfig::default())
+                .unwrap();
+            assert_eq!(plain, resilient, "{policy:?}");
+            assert_eq!(plain.serving.shed, 0);
+            assert_eq!(plain.serving.failed, 0);
+            assert_eq!(plain.serving.retries, 0);
+            assert_eq!(plain.serving.offered(), 24);
+        }
+    }
+
+    #[test]
+    fn unit_slowdown_is_bit_identical() {
+        // A slowdown window with factor 1.0 multiplies every step time by
+        // exactly 1.0 (IEEE-exact) and its boundary advances are no-ops on
+        // the step sequence, so the report must not move a single bit.
+        let reqs = online_trace(20, 31, 8.0);
+        let baseline = cluster(2, RoutingPolicy::JoinShortestQueue)
+            .run(&reqs)
+            .unwrap();
+        let plan = FaultPlan::none().with_slowdown(0, 0.5, 2.0, 1.0);
+        let slowed = cluster(2, RoutingPolicy::JoinShortestQueue)
+            .run_resilient(&reqs, &plan, &ResilienceConfig::default())
+            .unwrap();
+        assert_eq!(baseline, slowed);
+    }
+
+    #[test]
+    fn slowdown_lengthens_the_run() {
+        let reqs = online_trace(20, 31, 8.0);
+        let baseline = cluster(2, RoutingPolicy::RoundRobin).run(&reqs).unwrap();
+        let plan = FaultPlan::none().with_slowdown(0, 0.0, 1.0e6, 4.0);
+        let slowed = cluster(2, RoutingPolicy::RoundRobin)
+            .run_resilient(&reqs, &plan, &ResilienceConfig::default())
+            .unwrap();
+        assert!(slowed.serving.total_time_s > baseline.serving.total_time_s);
+        assert!(slowed.serving.throughput_tps < baseline.serving.throughput_tps);
+        // Slowdowns lose no work.
+        assert_eq!(slowed.serving.completed, 20);
+        assert_eq!(slowed.serving.lost_tokens, 0);
+    }
+
+    #[test]
+    fn crash_reroutes_displaced_work_to_survivors() {
+        let reqs = online_trace(24, 7, 12.0);
+        let expected: usize = reqs.iter().map(|r| r.output_len).sum();
+        let plan = FaultPlan::none().with_crash(0, 1.0);
+        let report = cluster(3, RoutingPolicy::RoundRobin)
+            .run_resilient(&reqs, &plan, &ResilienceConfig::default())
+            .unwrap();
+        // Every displaced request found a survivor within the retry budget.
+        assert_eq!(report.serving.completed, 24);
+        assert_eq!(report.serving.failed, 0);
+        assert_eq!(report.serving.shed, 0);
+        assert!(report.serving.retries > 0, "crash displaced no work");
+        assert_eq!(report.per_replica[0].crashes, 1);
+        // Tokens produced by the lost attempt are accounted, not resold:
+        // net output is exactly the completed requests' token count.
+        assert_eq!(
+            report.serving.total_output_tokens - report.serving.lost_tokens,
+            expected
+        );
+        // The dead replica received no post-crash dispatches.
+        let post_crash: usize = report.per_replica[1].dispatched + report.per_replica[2].dispatched;
+        assert_eq!(
+            report.per_replica[0].dispatched + post_crash,
+            24 + report.serving.retries
+        );
+    }
+
+    #[test]
+    fn seeded_fault_runs_are_bit_reproducible() {
+        let trace_a = online_trace(24, 41, 10.0);
+        let trace_b = online_trace(24, 41, 10.0);
+        let plan_a = FaultPlan::random_crashes(3, 1, 3.0, 97).with_slowdown(1, 0.5, 1.5, 2.0);
+        let plan_b = FaultPlan::random_crashes(3, 1, 3.0, 97).with_slowdown(1, 0.5, 1.5, 2.0);
+        let cfg = ResilienceConfig {
+            shed: ShedPolicy::queue_cap(12),
+            ..ResilienceConfig::default()
+        };
+        let a = cluster(3, RoutingPolicy::JoinShortestQueue)
+            .run_resilient(&trace_a, &plan_a, &cfg)
+            .unwrap();
+        let b = cluster(3, RoutingPolicy::JoinShortestQueue)
+            .run_resilient(&trace_b, &plan_b, &cfg)
+            .unwrap();
+        assert_eq!(a, b);
+        // Accounting balances exactly even with faults and shedding.
+        assert_eq!(
+            a.serving.completed + a.serving.shed + a.serving.failed,
+            a.serving.offered()
+        );
+        assert_eq!(a.serving.offered(), 24);
+    }
+
+    #[test]
+    fn zero_retry_budget_fails_displaced_requests() {
+        let reqs = online_trace(24, 7, 12.0);
+        let plan = FaultPlan::none().with_crash(0, 1.0);
+        let cfg = ResilienceConfig {
+            max_retries: 0,
+            ..ResilienceConfig::default()
+        };
+        let report = cluster(3, RoutingPolicy::RoundRobin)
+            .run_resilient(&reqs, &plan, &cfg)
+            .unwrap();
+        assert!(report.serving.failed > 0, "crash displaced no work");
+        assert_eq!(report.serving.retries, 0);
+        assert_eq!(
+            report.serving.completed + report.serving.failed,
+            report.serving.offered()
+        );
+        assert_eq!(report.serving.offered(), 24);
+    }
+
+    #[test]
+    fn crash_after_drain_changes_nothing_but_the_counter() {
+        // A crash scheduled far past the horizon fires after all work has
+        // completed: nothing to displace, so the serving report is
+        // bit-identical and only the crash counter moves.
+        let reqs = online_trace(16, 13, 6.0);
+        let baseline = cluster(2, RoutingPolicy::RoundRobin).run(&reqs).unwrap();
+        let plan = FaultPlan::none().with_crash(1, 1.0e9);
+        let crashed = cluster(2, RoutingPolicy::RoundRobin)
+            .run_resilient(&reqs, &plan, &ResilienceConfig::default())
+            .unwrap();
+        assert_eq!(baseline.serving, crashed.serving);
+        assert_eq!(crashed.per_replica[1].crashes, 1);
+        assert_eq!(crashed.per_replica[0].crashes, 0);
+    }
+
+    #[test]
+    fn recovery_restores_capacity() {
+        // All arrivals land after the crash/recover window: a recovered
+        // replica serves exactly as if it had never crashed, while an
+        // unrecovered one forces everything onto the survivor.
+        let reqs: Vec<crate::dataset::Request> = online_trace(16, 19, 8.0)
+            .into_iter()
+            .map(|r| {
+                let t = r.arrival_s + 10.0;
+                r.with_arrival(t)
+            })
+            .collect();
+        let baseline = cluster(2, RoutingPolicy::RoundRobin).run(&reqs).unwrap();
+
+        let recovered = cluster(2, RoutingPolicy::RoundRobin)
+            .run_resilient(
+                &reqs,
+                &FaultPlan::none().with_recovering_crash(0, 1.0, 5.0),
+                &ResilienceConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(baseline.serving, recovered.serving);
+        assert_eq!(recovered.per_replica[0].crashes, 1);
+        assert_eq!(recovered.per_replica[0].dispatched, 8);
+
+        let unrecovered = cluster(2, RoutingPolicy::RoundRobin)
+            .run_resilient(
+                &reqs,
+                &FaultPlan::none().with_crash(0, 1.0),
+                &ResilienceConfig::default(),
+            )
+            .unwrap();
+        assert_eq!(unrecovered.per_replica[0].dispatched, 0);
+        assert_eq!(unrecovered.per_replica[1].dispatched, 16);
+        assert_eq!(unrecovered.serving.completed, 16);
+        assert_eq!(unrecovered.serving.failed, 0);
+    }
+
+    #[test]
+    fn shedding_bounds_the_ttft_tail_under_overload() {
+        // Offered load far past capacity: without admission control the
+        // queue grows without bound and the TTFT tail explodes; a queue
+        // cap trades completed requests for a bounded tail.
+        let reqs = online_trace(48, 29, 60.0);
+        let open = cluster(1, RoutingPolicy::RoundRobin).run(&reqs).unwrap();
+        let cfg = ResilienceConfig {
+            shed: ShedPolicy::queue_cap(6),
+            ..ResilienceConfig::default()
+        };
+        let capped = cluster(1, RoutingPolicy::RoundRobin)
+            .run_resilient(&reqs, &FaultPlan::none(), &cfg)
+            .unwrap();
+        assert!(capped.serving.shed > 0, "overload shed nothing");
+        assert_eq!(
+            capped.serving.completed + capped.serving.shed,
+            capped.serving.offered()
+        );
+        assert_eq!(capped.serving.offered(), 48);
+        assert!(capped.serving.p99_ttft_s < open.serving.p99_ttft_s);
+        assert!(capped.serving.slo_attainment <= 1.0);
+    }
+
+    #[test]
+    fn total_outage_fails_all_arrivals() {
+        // The only replica dies at t=0, before the first arrival is
+        // dispatched: every request fails, and every report float stays
+        // finite on the zero-span run.
+        let reqs = SyntheticDataset::dynamic_sonnet(8, 3);
+        let plan = FaultPlan::none().with_crash(0, 0.0);
+        let report = cluster(1, RoutingPolicy::RoundRobin)
+            .run_resilient(&reqs, &plan, &ResilienceConfig::default())
+            .unwrap();
+        assert_eq!(report.serving.completed, 0);
+        assert_eq!(report.serving.failed, 8);
+        assert_eq!(report.serving.offered(), 8);
+        assert_eq!(report.serving.total_time_s, 0.0);
+        assert_eq!(report.serving.throughput_tps, 0.0);
+        assert_eq!(report.serving.goodput_tps, 0.0);
+        assert_eq!(report.serving.slo_attainment, 0.0);
+        assert!(report.serving.mean_ttft_s.is_finite());
+        assert!(report.per_replica[0].utilization.is_finite());
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let reqs = SyntheticDataset::dynamic_sonnet(4, 3);
+        // Replica index out of range for this cluster size.
+        let plan = FaultPlan::none().with_crash(5, 1.0);
+        assert!(cluster(2, RoutingPolicy::RoundRobin)
+            .run_resilient(&reqs, &plan, &ResilienceConfig::default())
+            .is_err());
     }
 }

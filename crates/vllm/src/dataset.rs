@@ -177,8 +177,7 @@ impl SyntheticDataset {
     #[must_use]
     pub fn dynamic_sonnet(n: usize, seed: u64) -> Vec<Request> {
         let mut r = rng::seeded(seed);
-        let buckets: [(usize, f64); 4] =
-            [(512, 0.4), (1024, 0.3), (2048, 0.2), (4096, 0.1)];
+        let buckets: [(usize, f64); 4] = [(512, 0.4), (1024, 0.3), (2048, 0.2), (4096, 0.1)];
         (0..n as u64)
             .map(|id| {
                 let input_len = rng::weighted_choice(&mut r, &buckets);
@@ -200,11 +199,7 @@ impl SyntheticDataset {
     /// sampling uses `seed`, arrival sampling `seed + 1`, so the same
     /// request mix can be replayed under different offered loads.
     #[must_use]
-    pub fn dynamic_sonnet_online(
-        n: usize,
-        seed: u64,
-        process: &ArrivalProcess,
-    ) -> Vec<Request> {
+    pub fn dynamic_sonnet_online(n: usize, seed: u64, process: &ArrivalProcess) -> Vec<Request> {
         let mut reqs = Self::dynamic_sonnet(n, seed);
         process.assign(&mut reqs, seed.wrapping_add(1));
         reqs
@@ -260,7 +255,9 @@ mod tests {
     fn fixed_trace() {
         let reqs = SyntheticDataset::fixed(3, 100, 25);
         assert_eq!(reqs.len(), 3);
-        assert!(reqs.iter().all(|r| r.input_len == 100 && r.output_len == 25));
+        assert!(reqs
+            .iter()
+            .all(|r| r.input_len == 100 && r.output_len == 25));
         assert_eq!(reqs[2].id, 2);
     }
 
@@ -281,7 +278,10 @@ mod tests {
 
     #[test]
     fn bursty_arrivals_cluster_but_match_offered_load() {
-        let p = ArrivalProcess::Bursty { rate_rps: 10.0, burst: 8 };
+        let p = ArrivalProcess::Bursty {
+            rate_rps: 10.0,
+            burst: 8,
+        };
         let a = p.sample(2000, 3);
         assert_eq!(a.len(), 2000);
         assert!(a.windows(2).all(|w| w[0] <= w[1]));
@@ -316,7 +316,10 @@ mod tests {
             &ArrivalProcess::Poisson { rate_rps: 4.0 },
         );
         for (a, b) in offline.iter().zip(&online) {
-            assert_eq!((a.id, a.input_len, a.output_len), (b.id, b.input_len, b.output_len));
+            assert_eq!(
+                (a.id, a.input_len, a.output_len),
+                (b.id, b.input_len, b.output_len)
+            );
         }
         assert!(online.iter().any(|r| r.arrival_s > 0.0));
         assert!(online.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));

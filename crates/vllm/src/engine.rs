@@ -23,6 +23,7 @@
 
 use crate::attention::{PagedAttention, PagedBackend, DEFAULT_BLOCK_TOKENS};
 use crate::dataset::Request;
+use crate::fault::SloSpec;
 use crate::kv_cache::PagedKvCache;
 use dcm_compiler::{CompileOptions, Device};
 use dcm_core::error::{DcmError, Result};
@@ -74,6 +75,46 @@ pub struct ServingReport {
     /// Sequences preempted (KV blocks reclaimed, progress recomputed
     /// later) — vLLM's recompute-mode preemption.
     pub preemptions: usize,
+    /// Arrivals rejected by admission control (load shedding). Always 0
+    /// for a single engine; the cluster's [`ShedPolicy`] fills it in.
+    ///
+    /// [`ShedPolicy`]: crate::fault::ShedPolicy
+    pub shed: usize,
+    /// Requests abandoned after replica crashes exhausted their retry
+    /// budget. Always 0 for a single engine.
+    pub failed: usize,
+    /// Crash-displaced re-dispatches onto surviving replicas. Always 0
+    /// for a single engine.
+    pub retries: usize,
+    /// Output tokens produced and then lost to replica crashes — work the
+    /// retries had to redo. `total_output_tokens - lost_tokens` is exactly
+    /// the token count of completed requests.
+    pub lost_tokens: usize,
+    /// Output tokens from completed requests that met the SLO, per second
+    /// of run span — the goodput the resilience experiments optimize.
+    pub goodput_tps: f64,
+    /// Completed-within-SLO requests as a fraction of offered requests
+    /// (`completed + shed + failed`).
+    pub slo_attainment: f64,
+}
+
+impl ServingReport {
+    /// Requests offered to the system: completed plus shed plus failed.
+    #[must_use]
+    pub fn offered(&self) -> usize {
+        self.completed + self.shed + self.failed
+    }
+}
+
+/// Per-request outcome captured at completion — the basis for SLO
+/// attainment and goodput accounting. TTFT is client-perceived: measured
+/// from the request's original arrival, through any crashed attempts.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FinishedRequest {
+    pub(crate) ttft_s: f64,
+    /// `None` for single-output-token requests (no decode interval).
+    pub(crate) tpot_s: Option<f64>,
+    pub(crate) output_tokens: usize,
 }
 
 struct ActiveSeq {
@@ -100,8 +141,7 @@ impl WorkItem {
 
     /// Tokens that must be in the KV cache at admission.
     fn admit_tokens(&self) -> usize {
-        self.request.input_len
-            + self.resumed.as_ref().map_or(0, |s| s.produced)
+        self.request.input_len + self.resumed.as_ref().map_or(0, |s| s.produced)
     }
 }
 
@@ -124,9 +164,14 @@ pub(crate) struct SimState {
     t: f64,
     /// Time spent executing prefill or decode steps (for utilization).
     pub(crate) busy_s: f64,
+    /// Step-time multiplier (1.0 = nominal); the cluster layer raises it
+    /// inside a [`FaultEvent::Slowdown`](crate::fault::FaultEvent) window.
+    time_scale: f64,
     pub(crate) ttft: LatencyRecorder,
     pub(crate) tpot: LatencyRecorder,
     pub(crate) queue_delay: LatencyRecorder,
+    /// One entry per completed request — SLO/goodput accounting.
+    pub(crate) finished: Vec<FinishedRequest>,
     total_output: usize,
     completed: usize,
     peak_batch: usize,
@@ -184,26 +229,72 @@ impl SimState {
         self.preemptions
     }
 
+    /// Set the step-time multiplier (1.0 = nominal speed, larger =
+    /// slower). The cluster layer flips this at slowdown-window edges.
+    pub(crate) fn set_time_scale(&mut self, scale: f64) {
+        debug_assert!(scale.is_finite() && scale >= 1.0, "bad time scale {scale}");
+        self.time_scale = scale;
+    }
+
+    /// Crash harvest: remove every request this replica has not finished
+    /// — pending, ready (including preemption holders) and active —
+    /// releasing their KV blocks. Returns the requests sorted by
+    /// (arrival, id), ready for deterministic re-dispatch, plus the
+    /// output tokens that had already been produced for them and are now
+    /// lost (the retries must regenerate them).
+    ///
+    /// Completed requests and their metrics are untouched: they were
+    /// delivered before the crash. TTFT/queue-delay samples already
+    /// recorded for an *unfinished* request stay in the recorders — the
+    /// latency distributions are per-attempt — while the per-request
+    /// [`FinishedRequest`] accounting (SLO, goodput) only ever sees the
+    /// attempt that completes.
+    ///
+    /// # Errors
+    /// Propagates a KV-cache inconsistency (an active sequence without a
+    /// live allocation), which would indicate an engine bug.
+    pub(crate) fn drain_unfinished(&mut self) -> Result<(Vec<Request>, usize)> {
+        let mut lost = 0usize;
+        let mut out: Vec<Request> = self.pending.drain(..).collect();
+        for w in std::mem::take(&mut self.ready) {
+            lost += w.resumed.as_ref().map_or(0, |s| s.produced);
+            out.push(w.request);
+        }
+        let ids: Vec<u64> = self.active.keys().copied().collect();
+        for id in ids {
+            let seq = self.active.remove(&id).expect("listed key is active");
+            lost += seq.produced;
+            self.kv.release(id)?;
+            out.push(self.meta[&id]);
+        }
+        for r in &out {
+            self.meta.remove(&r.id);
+        }
+        out.sort_by(|a, b| {
+            a.arrival_s
+                .total_cmp(&b.arrival_s)
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        Ok((out, lost))
+    }
+
     fn promote_arrivals(&mut self) {
-        while self
-            .pending
-            .front()
-            .is_some_and(|r| r.arrival_s <= self.t)
-        {
+        while self.pending.front().is_some_and(|r| r.arrival_s <= self.t) {
             let r = self.pending.pop_front().expect("checked non-empty");
             self.ready.push_back(WorkItem::fresh(r));
         }
     }
 
-    /// Summarize a completed run.
-    pub(crate) fn report(&self) -> ServingReport {
+    /// Summarize a completed run, judging goodput against `slo`.
+    pub(crate) fn report(&self, slo: &SloSpec) -> ServingReport {
         let (p50_ttft_s, p95_ttft_s, p99_ttft_s) = self.ttft.summary();
         let (p50_tpot_s, p95_tpot_s, p99_tpot_s) = self.tpot.summary();
+        let (met_requests, met_tokens) = slo_met(&self.finished, slo);
         ServingReport {
             completed: self.completed,
             total_output_tokens: self.total_output,
             total_time_s: self.t,
-            throughput_tps: self.total_output as f64 / self.t,
+            throughput_tps: safe_rate(self.total_output, self.t),
             mean_ttft_s: self.ttft.mean(),
             mean_tpot_s: self.tpot.mean(),
             p50_ttft_s,
@@ -216,8 +307,47 @@ impl SimState {
             p99_queue_delay_s: self.queue_delay.quantile(99.0),
             peak_batch: self.peak_batch,
             preemptions: self.preemptions,
+            shed: 0,
+            failed: 0,
+            retries: 0,
+            lost_tokens: 0,
+            goodput_tps: safe_rate(met_tokens, self.t),
+            slo_attainment: attainment(met_requests, self.completed),
         }
     }
+}
+
+/// `tokens / span`, with a zero (or degenerate) span mapping to 0 instead
+/// of NaN/inf — no report field may ever be non-finite.
+pub(crate) fn safe_rate(tokens: usize, span_s: f64) -> f64 {
+    if span_s > 0.0 {
+        tokens as f64 / span_s
+    } else {
+        0.0
+    }
+}
+
+/// Fraction of `offered` requests that met the SLO; vacuously 1 when
+/// nothing was offered.
+pub(crate) fn attainment(met: usize, offered: usize) -> f64 {
+    if offered == 0 {
+        1.0
+    } else {
+        met as f64 / offered as f64
+    }
+}
+
+/// Count SLO-meeting completed requests and their output tokens.
+pub(crate) fn slo_met(finished: &[FinishedRequest], slo: &SloSpec) -> (usize, usize) {
+    let mut requests = 0;
+    let mut tokens = 0;
+    for f in finished {
+        if slo.met(f.ttft_s, f.tpot_s) {
+            requests += 1;
+            tokens += f.output_tokens;
+        }
+    }
+    (requests, tokens)
 }
 
 /// Continuous-batching LLM serving engine over one device group.
@@ -230,6 +360,7 @@ pub struct ServingEngine {
     max_decode_batch: usize,
     block_tokens: usize,
     kv_blocks_override: Option<usize>,
+    slo: SloSpec,
     nonattn_cache: HashMap<usize, f64>,
     prefill_cache: HashMap<usize, f64>,
 }
@@ -259,9 +390,17 @@ impl ServingEngine {
             max_decode_batch,
             block_tokens: DEFAULT_BLOCK_TOKENS,
             kv_blocks_override: None,
+            slo: SloSpec::default(),
             nonattn_cache: HashMap::new(),
             prefill_cache: HashMap::new(),
         }
+    }
+
+    /// Judge goodput/SLO attainment against `slo` instead of the default.
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = slo;
+        self
     }
 
     /// Cap the KV cache at `blocks` blocks regardless of HBM capacity —
@@ -308,8 +447,7 @@ impl ServingEngine {
     /// Returns [`DcmError::ResourceExhausted`] if the KV cache cannot hold
     /// a single block.
     pub(crate) fn make_sim(&self) -> Result<SimState> {
-        let weights = self.model.param_count() * DType::Bf16.size_bytes() as f64
-            / self.tp as f64;
+        let weights = self.model.param_count() * DType::Bf16.size_bytes() as f64 / self.tp as f64;
         let hbm = self.device.spec().memory.hbm_capacity_bytes;
         let reserved = weights as u64 + (hbm as f64 * ACTIVATION_HEADROOM) as u64;
         let kv = match self.kv_blocks_override {
@@ -329,9 +467,11 @@ impl ServingEngine {
             meta: HashMap::new(),
             t: 0.0,
             busy_s: 0.0,
+            time_scale: 1.0,
             ttft: LatencyRecorder::new(),
             tpot: LatencyRecorder::new(),
             queue_delay: LatencyRecorder::new(),
+            finished: Vec::new(),
             total_output: 0,
             completed: 0,
             peak_batch: 0,
@@ -359,8 +499,9 @@ impl ServingEngine {
                 sim.queue_delay.record(sim.t - r.arrival_s);
             }
             // Prefill covers the prompt plus, for a resumed sequence, the
-            // recomputation of its already-generated tokens.
-            let prefill = self.prefill_time(w.admit_tokens());
+            // recomputation of its already-generated tokens. The time
+            // scale models transient slowdown windows (1.0 = nominal).
+            let prefill = self.prefill_time(w.admit_tokens()) * sim.time_scale;
             sim.t += prefill;
             sim.busy_s += prefill;
             sim.kv.append_token(r.id)?;
@@ -380,7 +521,14 @@ impl ServingEngine {
             if seq.remaining == 0 {
                 sim.kv.release(r.id)?;
                 sim.completed += 1;
-                sim.tpot.record(0.0);
+                // A single-output-token request has no decode interval:
+                // it contributes no TPOT sample (a 0.0 here would drag
+                // the whole TPOT distribution toward zero).
+                sim.finished.push(FinishedRequest {
+                    ttft_s: seq.first_token_t - r.arrival_s,
+                    tpot_s: None,
+                    output_tokens: seq.produced,
+                });
             } else {
                 sim.active.insert(r.id, seq);
             }
@@ -406,7 +554,7 @@ impl ServingEngine {
             .map(|id| sim.kv.tokens_of(*id).expect("active implies live"))
             .collect();
         let attn = self.attention.decode_cost(&lens, 0.0).time();
-        let step = self.nonattn_step_time(sim.active.len()) + attn;
+        let step = (self.nonattn_step_time(sim.active.len()) + attn) * sim.time_scale;
         sim.t += step;
         sim.busy_s += step;
         let ids: Vec<u64> = sim.active.keys().copied().collect();
@@ -444,9 +592,17 @@ impl ServingEngine {
             seq.remaining -= 1;
             seq.produced += 1;
             if seq.remaining == 0 {
-                let tpot =
-                    (sim.t - seq.first_token_t) / (seq.produced - 1).max(1) as f64;
+                // produced >= 2 here: admission emitted the first token
+                // and this decode step at least one more.
+                let tpot = (sim.t - seq.first_token_t) / (seq.produced - 1) as f64;
                 sim.tpot.record(tpot);
+                let ttft_s = seq.first_token_t - sim.meta[&id].arrival_s;
+                let output_tokens = seq.produced;
+                sim.finished.push(FinishedRequest {
+                    ttft_s,
+                    tpot_s: Some(tpot),
+                    output_tokens,
+                });
                 sim.active.remove(&id);
                 sim.kv.release(id)?;
                 sim.completed += 1;
@@ -505,7 +661,7 @@ impl ServingEngine {
             sim.enqueue(r);
         }
         self.sim_advance(&mut sim, f64::INFINITY)?;
-        Ok(sim.report())
+        Ok(sim.report(&self.slo))
     }
 }
 
@@ -680,14 +836,58 @@ mod tests {
         assert_eq!(report.completed, 3);
         assert_eq!(report.total_output_tokens, 3);
         assert_eq!(report.peak_batch, 0); // never decoded
+                                          // No decode interval -> no TPOT samples at all (regression: these
+                                          // used to record tpot = 0.0 each).
+        assert_eq!(report.mean_tpot_s, 0.0);
+        assert_eq!(report.p99_tpot_s, 0.0);
+        // They still count for TTFT and (vacuously) meet the TPOT SLO.
+        assert!(report.mean_ttft_s > 0.0);
+        assert_eq!(report.slo_attainment, 1.0);
+    }
+
+    #[test]
+    fn single_token_requests_do_not_drag_tpot_distribution() {
+        // Regression for the tpot = 0.0 admission sample: a trace mixing
+        // one-token and long requests must report the TPOT of the long
+        // requests alone, not a distribution polluted with zeros.
+        let mut reqs = SyntheticDataset::fixed(3, 64, 1);
+        reqs.push(crate::dataset::Request::new(3, 64, 65));
+        let report = engine(PagedBackend::GaudiOpt, 4).run(&reqs).unwrap();
+        assert_eq!(report.completed, 4);
+        // Exactly one TPOT sample (the 65-token request): every summary
+        // statistic equals it and is strictly positive.
+        assert!(report.mean_tpot_s > 0.0);
+        assert_eq!(report.mean_tpot_s, report.p50_tpot_s);
+        assert_eq!(report.p50_tpot_s, report.p99_tpot_s);
+    }
+
+    #[test]
+    fn goodput_equals_throughput_when_every_request_meets_slo() {
+        let reqs = SyntheticDataset::fixed(4, 128, 16);
+        let report = engine(PagedBackend::GaudiOpt, 4).run(&reqs).unwrap();
+        assert_eq!(report.slo_attainment, 1.0);
+        assert_eq!(report.goodput_tps, report.throughput_tps);
+        assert_eq!(report.offered(), report.completed);
+        assert_eq!(report.shed + report.failed + report.retries, 0);
+        assert_eq!(report.lost_tokens, 0);
+    }
+
+    #[test]
+    fn unattainable_slo_zeroes_goodput_but_not_throughput() {
+        let reqs = SyntheticDataset::fixed(4, 128, 16);
+        let mut eng =
+            engine(PagedBackend::GaudiOpt, 4).with_slo(crate::fault::SloSpec::new(1e-12, 1e-12));
+        let report = eng.run(&reqs).unwrap();
+        assert_eq!(report.slo_attainment, 0.0);
+        assert_eq!(report.goodput_tps, 0.0);
+        assert!(report.throughput_tps > 0.0);
     }
 
     #[test]
     fn zero_arrival_online_path_matches_offline_run() {
         // arrival_s == 0 must be the offline special case, bit-identical.
         let reqs = SyntheticDataset::dynamic_sonnet(16, 11);
-        let stamped: Vec<Request> =
-            reqs.iter().map(|r| r.with_arrival(0.0)).collect();
+        let stamped: Vec<Request> = reqs.iter().map(|r| r.with_arrival(0.0)).collect();
         let a = engine(PagedBackend::GaudiOpt, 8).run(&reqs).unwrap();
         let b = engine(PagedBackend::GaudiOpt, 8).run(&stamped).unwrap();
         assert_eq!(a, b);
@@ -739,7 +939,10 @@ mod tests {
         let reqs = SyntheticDataset::dynamic_sonnet_online(
             16,
             3,
-            &ArrivalProcess::Bursty { rate_rps: 50.0, burst: 8 },
+            &ArrivalProcess::Bursty {
+                rate_rps: 50.0,
+                burst: 8,
+            },
         );
         let expected: usize = reqs.iter().map(|r| r.output_len).sum();
         let mut eng = ServingEngine::new(

@@ -98,7 +98,9 @@ impl PagedKvCache {
     /// [`DcmError::InvalidConfig`] if the id is live.
     pub fn admit(&mut self, id: SeqId, tokens: usize) -> Result<()> {
         if self.allocated.contains_key(&id) {
-            return Err(DcmError::InvalidConfig(format!("sequence {id} already live")));
+            return Err(DcmError::InvalidConfig(format!(
+                "sequence {id} already live"
+            )));
         }
         let need = self.blocks_for(tokens.max(1));
         if need > self.free.len() {
@@ -128,9 +130,10 @@ impl PagedKvCache {
         let need = tokens.div_ceil(self.block_tokens);
         let have = self.allocated[&id].len();
         if need > have {
-            let block = self.free.pop().ok_or_else(|| {
-                DcmError::ResourceExhausted("KV cache out of blocks".to_owned())
-            })?;
+            let block = self
+                .free
+                .pop()
+                .ok_or_else(|| DcmError::ResourceExhausted("KV cache out of blocks".to_owned()))?;
             self.allocated.get_mut(&id).expect("checked").push(block);
         }
         Ok(())
@@ -228,11 +231,11 @@ mod tests {
         let mut c = PagedKvCache::new(2, 4);
         c.admit(1, 8).unwrap();
         assert!(!c.can_admit(1));
+        assert!(matches!(c.admit(2, 1), Err(DcmError::ResourceExhausted(_))));
         assert!(matches!(
-            c.admit(2, 1),
+            c.append_token(1),
             Err(DcmError::ResourceExhausted(_))
         ));
-        assert!(matches!(c.append_token(1), Err(DcmError::ResourceExhausted(_))));
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //! * [`cluster`] — a multi-replica router (round-robin /
 //!   join-shortest-queue / least-loaded-KV) dispatching an arrival
 //!   stream across N engines on one shared simulated clock.
+//! * [`fault`] — deterministic fault injection (seeded crash / recovery /
+//!   slowdown plans), admission-control shedding policies and SLO specs;
+//!   [`Cluster::run_resilient`](cluster::Cluster::run_resilient) replays
+//!   a plan and reports goodput, SLO attainment, retries, shed and
+//!   failed counts.
 //!
 //! ```
 //! use dcm_compiler::Device;
@@ -45,6 +50,7 @@ pub mod block;
 pub mod cluster;
 pub mod dataset;
 pub mod engine;
+pub mod fault;
 pub mod kv_cache;
 
 pub use attention::{PagedAttention, PagedBackend};
@@ -52,4 +58,5 @@ pub use block::{BlockList, BlockTable};
 pub use cluster::{Cluster, ClusterReport, ReplicaStats, RoutingPolicy};
 pub use dataset::{ArrivalProcess, Request, SyntheticDataset};
 pub use engine::{ServingEngine, ServingReport};
+pub use fault::{FaultEvent, FaultPlan, ResilienceConfig, ShedPolicy, SloSpec};
 pub use kv_cache::PagedKvCache;

@@ -166,12 +166,7 @@ impl DlrmServer {
     /// Serve one batch on `device`, using `embedding_op` for the sparse
     /// stage.
     #[must_use]
-    pub fn serve(
-        &self,
-        device: &Device,
-        embedding_op: &dyn EmbeddingOp,
-        batch: usize,
-    ) -> DlrmRun {
+    pub fn serve(&self, device: &Device, embedding_op: &dyn EmbeddingOp, batch: usize) -> DlrmRun {
         let emb_cost = embedding_op.cost(&self.config.embedding, batch);
         let dense = device.run_graph(&self.config.dense_graph(batch), &CompileOptions::default());
         let mut stats = ExecStats::new();
@@ -268,11 +263,8 @@ mod tests {
         let gaudi = Device::gaudi2();
         let a100 = Device::a100();
         let cfg = DlrmConfig::rm2(2048);
-        let g = DlrmServer::new(cfg.clone()).serve(
-            &gaudi,
-            &BatchedTableOp::new(gaudi.spec()),
-            4096,
-        );
+        let g =
+            DlrmServer::new(cfg.clone()).serve(&gaudi, &BatchedTableOp::new(gaudi.spec()), 4096);
         let a = DlrmServer::new(cfg).serve(&a100, &BatchedTableOp::new(a100.spec()), 4096);
         assert!(
             g.time_s() < a.time_s(),
@@ -288,13 +280,15 @@ mod tests {
         let gaudi = Device::gaudi2();
         let a100 = Device::a100();
         let cfg = DlrmConfig::rm2(128);
-        let g = DlrmServer::new(cfg.clone()).serve(
-            &gaudi,
-            &BatchedTableOp::new(gaudi.spec()),
-            1024,
-        );
+        let g =
+            DlrmServer::new(cfg.clone()).serve(&gaudi, &BatchedTableOp::new(gaudi.spec()), 1024);
         let a = DlrmServer::new(cfg).serve(&a100, &BatchedTableOp::new(a100.spec()), 1024);
-        assert!(g.energy_j > a.energy_j, "gaudi {} vs a100 {}", g.energy_j, a.energy_j);
+        assert!(
+            g.energy_j > a.energy_j,
+            "gaudi {} vs a100 {}",
+            g.energy_j,
+            a.energy_j
+        );
     }
 
     #[test]

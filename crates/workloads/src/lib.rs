@@ -33,4 +33,6 @@ pub use dlrm::{DlrmConfig, DlrmRun, DlrmServer};
 pub use dlrm_functional::DlrmFunctional;
 pub use llama::{LlamaConfig, LlamaServer, ServeRun};
 pub use llama_functional::{LayerDims, LlamaLayerFunctional};
-pub use training::{cluster_tokens_per_second, train_step, train_step_cluster, TrainStepRun, TrainingConfig};
+pub use training::{
+    cluster_tokens_per_second, train_step, train_step_cluster, TrainStepRun, TrainingConfig,
+};

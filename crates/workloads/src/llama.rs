@@ -128,7 +128,10 @@ impl LlamaConfig {
         tp: usize,
         name: String,
     ) -> Graph {
-        assert!(tp >= 1 && self.q_heads.is_multiple_of(tp), "tp must divide q_heads");
+        assert!(
+            tp >= 1 && self.q_heads.is_multiple_of(tp),
+            "tp must divide q_heads"
+        );
         let dt = DType::Bf16;
         let m = batch * new_tokens;
         let heads = self.q_heads / tp;
@@ -172,7 +175,7 @@ impl LlamaConfig {
                 participants: tp,
             });
             g.push(Op::add(m * self.hidden, dt)); // residual
-            // MLP block (gate and up projections fused into one GEMM).
+                                                  // MLP block (gate and up projections fused into one GEMM).
             g.push(Op::Elementwise {
                 kind: EwKind::RmsNorm,
                 elems: m * self.hidden,
@@ -202,7 +205,10 @@ impl LlamaConfig {
             elems: batch * self.hidden,
             dtype: dt,
         });
-        g.push(Op::gemm(GemmShape::new(batch, self.hidden, self.vocab / tp), dt));
+        g.push(Op::gemm(
+            GemmShape::new(batch, self.hidden, self.vocab / tp),
+            dt,
+        ));
         g.push(Op::AllReduce {
             bytes: (batch * self.vocab / tp * dt.size_bytes()) as u64,
             participants: tp,
@@ -273,7 +279,10 @@ impl LlamaServer {
     /// Panics if `tp` does not divide the query-head count.
     #[must_use]
     pub fn new(config: LlamaConfig, tp: usize) -> Self {
-        assert!(tp >= 1 && config.q_heads.is_multiple_of(tp), "tp must divide q_heads");
+        assert!(
+            tp >= 1 && config.q_heads.is_multiple_of(tp),
+            "tp must divide q_heads"
+        );
         LlamaServer { config, tp }
     }
 
@@ -305,10 +314,13 @@ impl LlamaServer {
     ) -> ServeRun {
         assert!(output_len > 0, "output_len must be positive");
         let opts = CompileOptions::default();
-        let prefill = device.run_graph(&self.config.prefill_graph(batch, input_len, self.tp), &opts);
+        let prefill =
+            device.run_graph(&self.config.prefill_graph(batch, input_len, self.tp), &opts);
         let mean_ctx = input_len + output_len / 2;
         let step = device.run_graph(
-            &self.config.decode_step_graph(batch, mean_ctx.max(1), self.tp),
+            &self
+                .config
+                .decode_step_graph(batch, mean_ctx.max(1), self.tp),
             &opts,
         );
         let decode = step.stats.repeated(output_len as f64);
@@ -325,8 +337,7 @@ impl LlamaServer {
                 &step.stats,
                 step.matrix_powered_fraction,
             ));
-        let energy_per_device =
-            prefill_power * prefill.stats.time_s + decode_power * decode.time_s;
+        let energy_per_device = prefill_power * prefill.stats.time_s + decode_power * decode.time_s;
         let total_time = prefill.stats.time_s + decode.time_s;
         ServeRun {
             energy_j: energy_per_device * self.tp as f64,
@@ -349,9 +360,17 @@ mod tests {
         assert_eq!(c8.hidden, 4096);
         assert_eq!(c8.kv_heads, 8);
         // ~8B parameters.
-        assert!((c8.param_count() / 1e9 - 8.0).abs() < 1.0, "{}", c8.param_count());
+        assert!(
+            (c8.param_count() / 1e9 - 8.0).abs() < 1.0,
+            "{}",
+            c8.param_count()
+        );
         let c70 = LlamaConfig::llama31_70b();
-        assert!((c70.param_count() / 1e9 - 70.0).abs() < 6.0, "{}", c70.param_count());
+        assert!(
+            (c70.param_count() / 1e9 - 70.0).abs() < 6.0,
+            "{}",
+            c70.param_count()
+        );
     }
 
     #[test]

@@ -189,8 +189,7 @@ impl LlamaLayerFunctional {
                 let out_start = h * d;
                 for (tj, e) in exps.iter().enumerate() {
                     let w = e / sum;
-                    let vrow: Vec<f32> =
-                        v.row(tj)[kvh * d..(kvh + 1) * d].to_vec();
+                    let vrow: Vec<f32> = v.row(tj)[kvh * d..(kvh + 1) * d].to_vec();
                     let orow = ctx.row_mut(ti);
                     for (o, &vv) in orow[out_start..out_start + d].iter_mut().zip(&vrow) {
                         *o += w * vv;
@@ -242,8 +241,7 @@ fn extract_head(t: &Tensor, head: usize, d: usize) -> Vec<f32> {
 fn write_head(t: &mut Tensor, head: usize, d: usize, data: &[f32]) {
     let tokens = t.shape().dim(0);
     for ti in 0..tokens {
-        t.row_mut(ti)[head * d..(head + 1) * d]
-            .copy_from_slice(&data[ti * d..(ti + 1) * d]);
+        t.row_mut(ti)[head * d..(head + 1) * d].copy_from_slice(&data[ti * d..(ti + 1) * d]);
     }
 }
 
@@ -361,8 +359,7 @@ mod tests {
         let x = input(4, 8);
         let n = rms_norm(&x);
         for i in 0..4 {
-            let ms: f32 =
-                n.row(i).iter().map(|v| v * v).sum::<f32>() / n.row(i).len() as f32;
+            let ms: f32 = n.row(i).iter().map(|v| v * v).sum::<f32>() / n.row(i).len() as f32;
             assert!((ms - 1.0).abs() < 1e-3, "row {i}: {ms}");
         }
     }

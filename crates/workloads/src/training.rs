@@ -181,15 +181,20 @@ pub fn train_step(device: &Device, cfg: &TrainingConfig) -> TrainStepRun {
         &cfg.model.prefill_graph(cfg.micro_batch, cfg.seq_len, 1),
         &opts,
     );
-    let bwd = device.run_graph(&backward_graph(&cfg.model, cfg.micro_batch, cfg.seq_len), &opts);
+    let bwd = device.run_graph(
+        &backward_graph(&cfg.model, cfg.micro_batch, cfg.seq_len),
+        &opts,
+    );
     let opt = device.run_graph(&optimizer_graph(&cfg.model), &opts);
 
     // Gradient all-reduce: full parameter gradients in BF16.
     let grad_bytes = (cfg.model.param_count() * DType::Bf16.size_bytes() as f64) as u64;
     let ar_s = if cfg.data_parallel >= 2 {
-        device
-            .collective_model()
-            .time(dcm_net::Collective::AllReduce, grad_bytes, cfg.data_parallel)
+        device.collective_model().time(
+            dcm_net::Collective::AllReduce,
+            grad_bytes,
+            cfg.data_parallel,
+        )
     } else {
         0.0
     };
@@ -211,10 +216,8 @@ pub fn train_step(device: &Device, cfg: &TrainingConfig) -> TrainStepRun {
             * run.stats.time_s
     };
     let comm_power = device.power_model().idle_watts() * 1.2;
-    let energy = phase_energy(&fwd)
-        + phase_energy(&bwd)
-        + phase_energy(&opt)
-        + comm_power * exposed;
+    let energy =
+        phase_energy(&fwd) + phase_energy(&bwd) + phase_energy(&opt) + comm_power * exposed;
 
     TrainStepRun {
         forward: fwd.stats,
@@ -234,11 +237,7 @@ pub fn train_step(device: &Device, cfg: &TrainingConfig) -> TrainStepRun {
 /// # Panics
 /// Panics on a zero node count or an oversubscribed node.
 #[must_use]
-pub fn train_step_cluster(
-    device: &Device,
-    cfg: &TrainingConfig,
-    nodes: usize,
-) -> TrainStepRun {
+pub fn train_step_cluster(device: &Device, cfg: &TrainingConfig, nodes: usize) -> TrainStepRun {
     let single = train_step(device, cfg);
     if nodes <= 1 {
         return single;
@@ -249,26 +248,20 @@ pub fn train_step_cluster(
     let overlapped = ar_s * ALLREDUCE_OVERLAP;
     let bwd_wall = pipeline_makespan(&slice_evenly(single.backward.time_s, overlapped, 16));
     let exposed = ar_s - overlapped;
-    let step_time =
-        single.forward.time_s + bwd_wall + exposed + single.optimizer.time_s;
+    let step_time = single.forward.time_s + bwd_wall + exposed + single.optimizer.time_s;
     TrainStepRun {
         exposed_allreduce_s: exposed,
         step_time_s: step_time,
         // Energy scales with the longer step at comm-phase power.
-        energy_j: single.energy_j + (step_time - single.step_time_s).max(0.0)
-            * device.power_model().idle_watts()
-            * 1.2,
+        energy_j: single.energy_j
+            + (step_time - single.step_time_s).max(0.0) * device.power_model().idle_watts() * 1.2,
         ..single
     }
 }
 
 /// Cluster-wide training throughput in tokens/s for `nodes` nodes.
 #[must_use]
-pub fn cluster_tokens_per_second(
-    device: &Device,
-    cfg: &TrainingConfig,
-    nodes: usize,
-) -> f64 {
+pub fn cluster_tokens_per_second(device: &Device, cfg: &TrainingConfig, nodes: usize) -> f64 {
     let run = train_step_cluster(device, cfg, nodes);
     cfg.tokens_per_step() as f64 * nodes as f64 / run.step_time_s
 }
@@ -331,10 +324,11 @@ mod tests {
         let t2 = train_step(&Device::gaudi2(), &cfg);
         cfg.data_parallel = 8;
         let t8 = train_step(&Device::gaudi2(), &cfg);
-        let scale = t8.tokens_per_second(&cfg) / t2.tokens_per_second(&TrainingConfig {
-            data_parallel: 2,
-            ..cfg.clone()
-        });
+        let scale = t8.tokens_per_second(&cfg)
+            / t2.tokens_per_second(&TrainingConfig {
+                data_parallel: 2,
+                ..cfg.clone()
+            });
         // Superlinear on the P2P mesh: 2-device all-reduce uses 1/7 of the
         // links, so going to 8 devices gains both parallelism and fabric.
         assert!(scale > 3.5 && scale < 16.0, "2->8 device scaling {scale}");

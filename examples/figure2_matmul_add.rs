@@ -53,11 +53,13 @@ fn main() -> Result<()> {
         &[&mme_result, &c],
         &[TensorDesc::new([N * N], DType::Fp32)],
     )?;
-    let d_hpu =
-        Tensor::from_vec([N, N], DType::Fp32, launch.outputs[0].data().to_vec())?;
+    let d_hpu = Tensor::from_vec([N, N], DType::Fp32, launch.outputs[0].data().to_vec())?;
     assert!(d_hpu.max_abs_diff(&expect)? < 1e-4);
-    println!("hpu: MME gemm {:.2} us + add_tpc kernel {:.2} us (separate ops,",
-        gemm_cost.time() * 1e6, launch.cost.time() * 1e6);
+    println!(
+        "hpu: MME gemm {:.2} us + add_tpc kernel {:.2} us (separate ops,",
+        gemm_cost.time() * 1e6,
+        launch.cost.time() * 1e6
+    );
 
     // What the graph compiler does about the split: pipeline the pair.
     let mut g = Graph::new("matmul_add");

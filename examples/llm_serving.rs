@@ -1,7 +1,7 @@
 //! LLM serving: Llama-3.1-8B on a single device with a paged KV cache and
 //! continuous batching, Llama-3.1-70B tensor-parallel over 2–8 devices,
-//! and online serving of a Poisson arrival stream across a replica
-//! cluster.
+//! online serving of a Poisson arrival stream across a replica cluster,
+//! and fault-tolerant serving through a mid-run replica crash.
 //!
 //! ```text
 //! cargo run -p dcm-examples --example llm_serving
@@ -12,6 +12,7 @@ use dcm_vllm::attention::PagedBackend;
 use dcm_vllm::cluster::{Cluster, RoutingPolicy};
 use dcm_vllm::dataset::{ArrivalProcess, SyntheticDataset};
 use dcm_vllm::engine::ServingEngine;
+use dcm_vllm::fault::{FaultPlan, ResilienceConfig, ShedPolicy, SloSpec};
 use dcm_workloads::llama::{LlamaConfig, LlamaServer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -28,8 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (Device::gaudi2(), PagedBackend::GaudiBase),
         (Device::a100(), PagedBackend::A100Fused),
     ] {
-        let mut engine =
-            ServingEngine::new(&device, LlamaConfig::llama31_8b(), 1, backend, 16);
+        let mut engine = ServingEngine::new(&device, LlamaConfig::llama31_8b(), 1, backend, 16);
         let report = engine.run(&trace)?;
         println!(
             "{:<28} {:>12.0} {:>10.0} {:>10.1} {:>10}",
@@ -99,5 +99,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\nnote: 12 req/s is ~3x one replica's capacity — adding replicas");
     println!("collapses the queueing tail until the cluster absorbs the offered load.");
+
+    // 4. Fault tolerance: the same 4-replica cluster, but one replica
+    //    crashes a third of the way through the arrival stream. Its
+    //    queued and in-flight requests re-route to the survivors
+    //    (recompute restart), and a queue cap sheds arrivals the degraded
+    //    cluster cannot absorb within the SLO.
+    println!("\nLlama-3.1-8B resilience: 4 replicas, replica 0 crashes at t=1.5s\n");
+    // ~2.3x the 4-replica capacity: overload even before the crash, so
+    // admission control has real work to do.
+    let trace =
+        SyntheticDataset::dynamic_sonnet_online(64, 7, &ArrivalProcess::Poisson { rate_rps: 40.0 });
+    let plan = FaultPlan::none().with_crash(0, 1.5);
+    println!(
+        "{:<22} {:>10} {:>6} {:>8} {:>12} {:>12} {:>8}",
+        "config", "completed", "shed", "retries", "p99 TTFT s", "goodput t/s", "SLO att"
+    );
+    for (label, shed) in [
+        ("no shedding", ShedPolicy::none()),
+        ("queue cap 12", ShedPolicy::queue_cap(12)),
+    ] {
+        let cfg = ResilienceConfig {
+            shed,
+            slo: SloSpec::new(2.5, 0.5),
+            ..ResilienceConfig::default()
+        };
+        let report = Cluster::homogeneous(
+            &Device::gaudi2(),
+            &LlamaConfig::llama31_8b(),
+            1,
+            PagedBackend::GaudiOpt,
+            16,
+            4,
+            RoutingPolicy::JoinShortestQueue,
+        )
+        .run_resilient(&trace, &plan, &cfg)?;
+        let s = &report.serving;
+        println!(
+            "{:<22} {:>7}/{:<2} {:>6} {:>8} {:>12.2} {:>12.0} {:>8.2}",
+            label,
+            s.completed,
+            s.offered(),
+            s.shed,
+            s.retries,
+            s.p99_ttft_s,
+            s.goodput_tps,
+            s.slo_attainment,
+        );
+    }
+    println!("\nnote: the crash displaces work onto three survivors; every request");
+    println!("still lands in exactly one bucket (completed + shed + failed = offered),");
+    println!("and a fault-free plan reproduces the run above bit for bit.");
     Ok(())
 }

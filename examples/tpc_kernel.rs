@@ -56,10 +56,7 @@ fn main() -> Result<()> {
     for spec in [DeviceSpec::gaudi2(), DeviceSpec::a100()] {
         let exec = TpcExecutor::new(&spec).with_max_cores(1);
         for unroll in [1usize, 4, 8] {
-            let kernel = TriadKernel {
-                scale: 2.5,
-                unroll,
-            };
+            let kernel = TriadKernel { scale: 2.5, unroll };
             let run = exec.launch(&kernel, &space, &[&a, &b], std::slice::from_ref(&out_desc))?;
             // Spot-check the functional result.
             let i = n / 2;

@@ -24,13 +24,28 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let iters = if self.iterations == 0 { 10 } else { self.iterations };
-        let mut b = Bencher { elapsed_s: 0.0, runs: 0 };
+        let iters = if self.iterations == 0 {
+            10
+        } else {
+            self.iterations
+        };
+        let mut b = Bencher {
+            elapsed_s: 0.0,
+            runs: 0,
+        };
         for _ in 0..iters {
             f(&mut b);
         }
-        let per_iter = if b.runs == 0 { 0.0 } else { b.elapsed_s / b.runs as f64 };
-        println!("{id:<40} {:>12.3} us/iter ({} iters)", per_iter * 1e6, b.runs);
+        let per_iter = if b.runs == 0 {
+            0.0
+        } else {
+            b.elapsed_s / b.runs as f64
+        };
+        println!(
+            "{id:<40} {:>12.3} us/iter ({} iters)",
+            per_iter * 1e6,
+            b.runs
+        );
         self
     }
 
@@ -56,7 +71,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        self.criterion.bench_function(&format!("{}/{id}", self.name), f);
+        self.criterion
+            .bench_function(&format!("{}/{id}", self.name), f);
         self
     }
 

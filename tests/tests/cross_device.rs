@@ -52,11 +52,17 @@ fn tensor_parallelism_conserves_total_flops_per_token() {
     let cfg = LlamaConfig::llama31_70b();
     let d = Device::gaudi2();
     let f1 = d
-        .run_graph(&cfg.decode_step_graph(16, 512, 1), &CompileOptions::default())
+        .run_graph(
+            &cfg.decode_step_graph(16, 512, 1),
+            &CompileOptions::default(),
+        )
         .stats
         .flops;
     let f8 = d
-        .run_graph(&cfg.decode_step_graph(16, 512, 8), &CompileOptions::default())
+        .run_graph(
+            &cfg.decode_step_graph(16, 512, 8),
+            &CompileOptions::default(),
+        )
         .stats
         .flops;
     let rel = (f8 * 8.0 - f1).abs() / f1;
@@ -119,5 +125,8 @@ fn graph_run_reports_unit_level_timing() {
     assert!(!run.unit_times.is_empty());
     let sum: f64 = run.unit_times.iter().map(|(_, t)| t).sum();
     assert!((sum - run.time_s()).abs() < 1e-12);
-    assert!(run.unit_times.iter().all(|(label, t)| !label.is_empty() && *t >= 0.0));
+    assert!(run
+        .unit_times
+        .iter()
+        .all(|(label, t)| !label.is_empty() && *t >= 0.0));
 }

@@ -18,8 +18,7 @@ fn dynamic_trace_completes_on_both_devices() {
         (Device::gaudi2(), PagedBackend::GaudiOpt),
         (Device::a100(), PagedBackend::A100Fused),
     ] {
-        let mut engine =
-            ServingEngine::new(&device, LlamaConfig::llama31_8b(), 1, backend, 8);
+        let mut engine = ServingEngine::new(&device, LlamaConfig::llama31_8b(), 1, backend, 8);
         let report = engine.run(&trace).expect("trace fits on 80+ GB devices");
         assert_eq!(report.completed, trace.len(), "{}", device.name());
         assert_eq!(report.total_output_tokens, expected_tokens);
@@ -36,9 +35,15 @@ fn serving_metrics_follow_batch_knob() {
     let trace = SyntheticDataset::dynamic_sonnet(20, 5);
     let gaudi = Device::gaudi2();
     let run = |mb: usize| {
-        ServingEngine::new(&gaudi, LlamaConfig::llama31_8b(), 1, PagedBackend::GaudiOpt, mb)
-            .run(&trace)
-            .expect("fits")
+        ServingEngine::new(
+            &gaudi,
+            LlamaConfig::llama31_8b(),
+            1,
+            PagedBackend::GaudiOpt,
+            mb,
+        )
+        .run(&trace)
+        .expect("fits")
     };
     let small = run(2);
     let large = run(16);
@@ -90,12 +95,22 @@ fn seventy_b_does_not_fit_one_a100_kv_budget() {
     // 70B BF16 weights are ~141 GB: the serving engine must refuse a
     // single 80 GB A100 but accept 8-way sharding.
     let a100 = Device::a100();
-    let mut single =
-        ServingEngine::new(&a100, LlamaConfig::llama31_70b(), 1, PagedBackend::A100Fused, 4);
+    let mut single = ServingEngine::new(
+        &a100,
+        LlamaConfig::llama31_70b(),
+        1,
+        PagedBackend::A100Fused,
+        4,
+    );
     let trace = SyntheticDataset::fixed(2, 128, 8);
     assert!(single.run(&trace).is_err(), "70B cannot fit one A100");
-    let mut sharded =
-        ServingEngine::new(&a100, LlamaConfig::llama31_70b(), 8, PagedBackend::A100Fused, 4);
+    let mut sharded = ServingEngine::new(
+        &a100,
+        LlamaConfig::llama31_70b(),
+        8,
+        PagedBackend::A100Fused,
+        4,
+    );
     assert!(sharded.run(&trace).is_ok(), "70B fits 8-way");
 }
 
@@ -105,10 +120,20 @@ fn deterministic_across_runs() {
     // deterministic (DESIGN.md requirement for reproducible figures).
     let trace = SyntheticDataset::dynamic_sonnet(10, 123);
     let gaudi = Device::gaudi2();
-    let mut e1 =
-        ServingEngine::new(&gaudi, LlamaConfig::llama31_8b(), 1, PagedBackend::GaudiOpt, 8);
-    let mut e2 =
-        ServingEngine::new(&gaudi, LlamaConfig::llama31_8b(), 1, PagedBackend::GaudiOpt, 8);
+    let mut e1 = ServingEngine::new(
+        &gaudi,
+        LlamaConfig::llama31_8b(),
+        1,
+        PagedBackend::GaudiOpt,
+        8,
+    );
+    let mut e2 = ServingEngine::new(
+        &gaudi,
+        LlamaConfig::llama31_8b(),
+        1,
+        PagedBackend::GaudiOpt,
+        8,
+    );
     let r1 = e1.run(&trace).expect("fits");
     let r2 = e2.run(&trace).expect("fits");
     assert_eq!(r1, r2);

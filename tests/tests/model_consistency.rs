@@ -53,10 +53,8 @@ fn analytic_and_trace_models_agree_on_levels() {
     // paths must land within 2x of each other (they differ in chain
     // detail, not in mechanism).
     let spec = DeviceSpec::gaudi2();
-    let analytic = VectorEngineModel::new(&spec).single_core_throughput(
-        &StreamKernel::triad().with_unroll(4),
-        DType::Fp32,
-    );
+    let analytic = VectorEngineModel::new(&spec)
+        .single_core_throughput(&StreamKernel::triad().with_unroll(4), DType::Fp32);
     let traced = dsl_throughput(&spec, 1 << 18, 4, 1);
     let ratio = traced / analytic;
     assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
@@ -78,7 +76,10 @@ fn both_models_show_the_unroll_trend_on_gaudi_only() {
     // SIMT core: flat in both models.
     let s1 = dsl_throughput(&a100, 1 << 16, 1, 1);
     let s4 = dsl_throughput(&a100, 1 << 16, 4, 1);
-    assert!((s4 / s1 - 1.0).abs() < 1e-9, "simt should be flat: {s1} vs {s4}");
+    assert!(
+        (s4 / s1 - 1.0).abs() < 1e-9,
+        "simt should be flat: {s1} vs {s4}"
+    );
 }
 
 #[test]

@@ -53,12 +53,32 @@ fn fig8_saturation_levels() {
     assert!(within(sat(StreamKernel::scale()), 530.0, 0.25));
     assert!(within(sat(StreamKernel::triad()), 670.0, 0.25));
     let compute = |m: &VectorEngineModel, k: StreamKernel, cores: usize, unroll: usize| {
-        m.throughput(&k.with_intensity_scale(1024).with_unroll(unroll), cores, DType::Bf16) / 1e12
+        m.throughput(
+            &k.with_intensity_scale(1024).with_unroll(unroll),
+            cores,
+            DType::Bf16,
+        ) / 1e12
     };
-    assert!(within(compute(&gaudi, StreamKernel::add(), 24, 8), 5.5, 0.1));
-    assert!(within(compute(&gaudi, StreamKernel::triad(), 24, 8), 10.9, 0.1));
-    assert!(within(compute(&a100, StreamKernel::add(), 108, 1), 19.4, 0.1));
-    assert!(within(compute(&a100, StreamKernel::triad(), 108, 1), 38.2, 0.1));
+    assert!(within(
+        compute(&gaudi, StreamKernel::add(), 24, 8),
+        5.5,
+        0.1
+    ));
+    assert!(within(
+        compute(&gaudi, StreamKernel::triad(), 24, 8),
+        10.9,
+        0.1
+    ));
+    assert!(within(
+        compute(&a100, StreamKernel::add(), 108, 1),
+        19.4,
+        0.1
+    ));
+    assert!(within(
+        compute(&a100, StreamKernel::triad(), 108, 1),
+        38.2,
+        0.1
+    ));
 }
 
 #[test]
@@ -66,7 +86,12 @@ fn fig9_gather_levels() {
     let g = GatherScatterEngine::new(&DeviceSpec::gaudi2());
     let a = GatherScatterEngine::new(&DeviceSpec::a100());
     let avg = |e: &GatherScatterEngine, sizes: &[usize]| {
-        mean(&sizes.iter().map(|&s| e.gather_utilization(4 << 20, s)).collect::<Vec<_>>())
+        mean(
+            &sizes
+                .iter()
+                .map(|&s| e.gather_utilization(4 << 20, s))
+                .collect::<Vec<_>>(),
+        )
     };
     assert!(within(avg(&g, &[256, 512, 1024, 2048]), 0.64, 0.10));
     assert!(within(avg(&a, &[256, 512, 1024, 2048]), 0.72, 0.10));
@@ -170,7 +195,11 @@ fn fig17_paged_attention() {
     let lens = vec![4096usize; 32];
     let opt_t = opt.decode_cost(&lens, 0.0).time();
     // 7.4x headline at 0% padding (+-35%).
-    assert!(within(base.decode_cost(&lens, 0.0).time() / opt_t, 7.4, 0.35));
+    assert!(within(
+        base.decode_cost(&lens, 0.0).time() / opt_t,
+        7.4,
+        0.35
+    ));
     // ~21x average over 10-90% padding (+-40%).
     let pad_mean = mean(
         &(1..=9)

@@ -1,0 +1,231 @@
+//! Property tests for the fault-injection and resilience layer: a
+//! fault-free plan is the plain cluster run bit for bit, seeded fault
+//! runs replay bit-identically, request accounting balances exactly
+//! (completed + shed + failed = offered), token accounting survives
+//! crashes, and no report float ever goes non-finite under faults.
+
+use dcm_compiler::Device;
+use dcm_vllm::attention::PagedBackend;
+use dcm_vllm::cluster::{Cluster, RoutingPolicy};
+use dcm_vllm::dataset::{ArrivalProcess, SyntheticDataset};
+use dcm_vllm::fault::{FaultPlan, ResilienceConfig, ShedPolicy};
+use dcm_workloads::llama::LlamaConfig;
+use proptest::prelude::*;
+
+fn cluster(n: usize, policy: RoutingPolicy) -> Cluster {
+    Cluster::homogeneous(
+        &Device::gaudi2(),
+        &LlamaConfig::llama31_8b(),
+        1,
+        PagedBackend::GaudiOpt,
+        8,
+        n,
+        policy,
+    )
+}
+
+fn policy_for(idx: usize) -> RoutingPolicy {
+    [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::JoinShortestQueue,
+        RoutingPolicy::LeastLoadedKv,
+    ][idx % 3]
+}
+
+/// A seeded plan exercising crashes (always leaving survivors), an
+/// optional recovery, and a slowdown window.
+fn seeded_plan(replicas: usize, crashes: usize, fault_seed: u64, recover: bool) -> FaultPlan {
+    let mut plan = FaultPlan::random_crashes(replicas, crashes.min(replicas - 1), 3.0, fault_seed);
+    if recover {
+        plan = plan.with_recovering_crash(0, 5.0, 6.0);
+    }
+    plan.with_slowdown(replicas - 1, 0.25, 1.25, 2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `run_resilient` with an empty plan and the default policy is
+    /// `run`, bit for bit, for every routing policy and replica count —
+    /// the fault layer costs nothing when no fault fires.
+    #[test]
+    fn fault_free_plan_is_plain_run(
+        seed in 0u64..500,
+        n_requests in 1usize..24,
+        replicas in 1usize..5,
+        policy_idx in 0usize..3,
+        rate_tenths in 5usize..200,
+    ) {
+        let reqs = SyntheticDataset::dynamic_sonnet_online(
+            n_requests,
+            seed,
+            &ArrivalProcess::Poisson { rate_rps: rate_tenths as f64 / 10.0 },
+        );
+        let policy = policy_for(policy_idx);
+        let plain = cluster(replicas, policy).run(&reqs).expect("trace fits");
+        let resilient = cluster(replicas, policy)
+            .run_resilient(&reqs, &FaultPlan::none(), &ResilienceConfig::default())
+            .expect("trace fits");
+        prop_assert_eq!(plain, resilient);
+    }
+
+    /// Two replays of the same seeded trace, plan, and config are
+    /// bit-identical — faults do not break simulation determinism.
+    #[test]
+    fn seeded_fault_runs_replay_bit_identically(
+        seed in 0u64..500,
+        fault_seed in 0u64..500,
+        replicas in 2usize..5,
+        crashes in 1usize..3,
+        policy_idx in 0usize..3,
+        recover_idx in 0usize..2,
+    ) {
+        let make_trace = || {
+            SyntheticDataset::dynamic_sonnet_online(
+                24,
+                seed,
+                &ArrivalProcess::Poisson { rate_rps: 10.0 },
+            )
+        };
+        let recover = recover_idx == 1;
+        let plan = seeded_plan(replicas, crashes, fault_seed, recover);
+        let cfg = ResilienceConfig {
+            shed: ShedPolicy::queue_cap(10),
+            ..ResilienceConfig::default()
+        };
+        let policy = policy_for(policy_idx);
+        let a = cluster(replicas, policy)
+            .run_resilient(&make_trace(), &plan, &cfg)
+            .expect("trace fits");
+        let b = cluster(replicas, policy)
+            .run_resilient(&make_trace(), &plan, &cfg)
+            .expect("trace fits");
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every offered request lands in exactly one bucket:
+    /// completed + shed + failed = offered, under any mix of crashes,
+    /// recoveries, slowdowns, shedding, and retry budgets.
+    #[test]
+    fn request_accounting_balances_exactly(
+        seed in 0u64..500,
+        fault_seed in 0u64..500,
+        n_requests in 1usize..32,
+        replicas in 2usize..5,
+        crashes in 1usize..3,
+        policy_idx in 0usize..3,
+        max_retries in 0usize..3,
+        queue_cap in 1usize..16,
+        recover_idx in 0usize..2,
+    ) {
+        let reqs = SyntheticDataset::dynamic_sonnet_online(
+            n_requests,
+            seed,
+            &ArrivalProcess::Poisson { rate_rps: 12.0 },
+        );
+        let recover = recover_idx == 1;
+        let plan = seeded_plan(replicas, crashes, fault_seed, recover);
+        let cfg = ResilienceConfig {
+            shed: ShedPolicy::queue_cap(queue_cap),
+            max_retries,
+            ..ResilienceConfig::default()
+        };
+        let report = cluster(replicas, policy_for(policy_idx))
+            .run_resilient(&reqs, &plan, &cfg)
+            .expect("trace fits");
+        let s = &report.serving;
+        prop_assert_eq!(s.completed + s.shed + s.failed, s.offered());
+        prop_assert_eq!(s.offered(), n_requests);
+        // Dispatches = admitted first attempts + crash retries; a request
+        // that fails during a total outage is never dispatched, so the
+        // exact first-attempt count is bounded, not pinned.
+        let dispatched: usize =
+            report.per_replica.iter().map(|r| r.dispatched).sum();
+        prop_assert!(dispatched <= n_requests - s.shed + s.retries);
+        // Every non-shed request was either dispatched at least once or
+        // failed at arrival.
+        prop_assert!(dispatched + s.failed >= n_requests - s.shed);
+    }
+
+    /// With survivors guaranteed and a generous retry budget, no request
+    /// fails or sheds, and the net token output (produced minus lost to
+    /// crashes) is exactly the trace's requested token count.
+    #[test]
+    fn token_accounting_survives_crashes(
+        seed in 0u64..500,
+        fault_seed in 0u64..500,
+        n_requests in 1usize..24,
+        replicas in 2usize..5,
+        policy_idx in 0usize..3,
+    ) {
+        let reqs = SyntheticDataset::dynamic_sonnet_online(
+            n_requests,
+            seed,
+            &ArrivalProcess::Poisson { rate_rps: 8.0 },
+        );
+        let expected: usize = reqs.iter().map(|r| r.output_len).sum();
+        // One crash, no recovery needed: survivors always exist.
+        let plan = FaultPlan::random_crashes(replicas, 1, 2.0, fault_seed);
+        let cfg = ResilienceConfig {
+            max_retries: replicas, // generous: can hop past every crash
+            ..ResilienceConfig::default()
+        };
+        let report = cluster(replicas, policy_for(policy_idx))
+            .run_resilient(&reqs, &plan, &cfg)
+            .expect("trace fits");
+        let s = &report.serving;
+        prop_assert_eq!(s.failed, 0);
+        prop_assert_eq!(s.shed, 0);
+        prop_assert_eq!(s.completed, n_requests);
+        prop_assert_eq!(s.total_output_tokens - s.lost_tokens, expected);
+        prop_assert!(s.slo_attainment >= 0.0 && s.slo_attainment <= 1.0);
+        prop_assert!(s.goodput_tps <= s.throughput_tps + 1e-12);
+    }
+
+    /// No fault scenario can produce a NaN or infinite report field.
+    #[test]
+    fn fault_reports_stay_finite(
+        seed in 0u64..500,
+        fault_seed in 0u64..500,
+        replicas in 1usize..4,
+        policy_idx in 0usize..3,
+        crash_all_idx in 0usize..2,
+    ) {
+        let reqs = SyntheticDataset::dynamic_sonnet_online(
+            12,
+            seed,
+            &ArrivalProcess::Poisson { rate_rps: 10.0 },
+        );
+        // Optionally kill every replica at t=0 — the degenerate zero-span
+        // run where the old division-by-span would have produced NaN.
+        let crash_all = crash_all_idx == 1;
+        let plan = if crash_all {
+            (0..replicas).fold(FaultPlan::none(), |p, i| p.with_crash(i, 0.0))
+        } else {
+            seeded_plan(replicas.max(2), 1, fault_seed, false)
+        };
+        let replicas = if crash_all { replicas } else { replicas.max(2) };
+        let report = cluster(replicas, policy_for(policy_idx))
+            .run_resilient(&reqs, &plan, &ResilienceConfig::default())
+            .expect("trace fits");
+        let s = &report.serving;
+        for (name, x) in [
+            ("total_time_s", s.total_time_s),
+            ("throughput_tps", s.throughput_tps),
+            ("goodput_tps", s.goodput_tps),
+            ("slo_attainment", s.slo_attainment),
+            ("mean_ttft_s", s.mean_ttft_s),
+            ("mean_tpot_s", s.mean_tpot_s),
+            ("p99_ttft_s", s.p99_ttft_s),
+            ("p99_tpot_s", s.p99_tpot_s),
+            ("mean_queue_delay_s", s.mean_queue_delay_s),
+            ("p99_queue_delay_s", s.p99_queue_delay_s),
+        ] {
+            prop_assert!(x.is_finite(), "{name} = {x}");
+        }
+        for rep in &report.per_replica {
+            prop_assert!(rep.utilization.is_finite());
+            prop_assert!(rep.busy_s.is_finite());
+        }
+    }
+}

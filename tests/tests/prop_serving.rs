@@ -4,11 +4,43 @@
 
 use dcm_compiler::Device;
 use dcm_vllm::attention::PagedBackend;
-use dcm_vllm::cluster::{Cluster, RoutingPolicy};
+use dcm_vllm::cluster::{Cluster, ClusterReport, RoutingPolicy};
 use dcm_vllm::dataset::{ArrivalProcess, Request, SyntheticDataset};
-use dcm_vllm::engine::ServingEngine;
+use dcm_vllm::engine::{ServingEngine, ServingReport};
 use dcm_workloads::llama::LlamaConfig;
 use proptest::prelude::*;
+
+/// Every float a [`ServingReport`] exposes, for finiteness sweeps.
+fn serving_floats(r: &ServingReport) -> Vec<(&'static str, f64)> {
+    vec![
+        ("total_time_s", r.total_time_s),
+        ("throughput_tps", r.throughput_tps),
+        ("goodput_tps", r.goodput_tps),
+        ("slo_attainment", r.slo_attainment),
+        ("mean_ttft_s", r.mean_ttft_s),
+        ("mean_tpot_s", r.mean_tpot_s),
+        ("p50_ttft_s", r.p50_ttft_s),
+        ("p95_ttft_s", r.p95_ttft_s),
+        ("p99_ttft_s", r.p99_ttft_s),
+        ("p50_tpot_s", r.p50_tpot_s),
+        ("p95_tpot_s", r.p95_tpot_s),
+        ("p99_tpot_s", r.p99_tpot_s),
+        ("mean_queue_delay_s", r.mean_queue_delay_s),
+        ("p99_queue_delay_s", r.p99_queue_delay_s),
+    ]
+}
+
+/// Every float a [`ClusterReport`] exposes, including per-replica stats.
+fn cluster_floats(r: &ClusterReport) -> Vec<(&'static str, f64)> {
+    let mut floats = serving_floats(&r.serving);
+    for rep in &r.per_replica {
+        floats.push(("busy_s", rep.busy_s));
+        floats.push(("utilization", rep.utilization));
+    }
+    floats.push(("dispatch_imbalance", r.dispatch_imbalance()));
+    floats.push(("mean_utilization", r.mean_utilization()));
+    floats
+}
 
 fn engine(max_batch: usize) -> ServingEngine {
     ServingEngine::new(
@@ -207,5 +239,34 @@ proptest! {
         prop_assert!((a.mean_ttft_s - b.mean_ttft_s).abs() < 1e-6);
         prop_assert!((a.p99_ttft_s - b.p99_ttft_s).abs() < 1e-6);
         prop_assert!((b.total_time_s - a.total_time_s - delay).abs() < 1e-6);
+    }
+
+    /// No report field is ever NaN or infinite, for any routing policy,
+    /// replica count, load, or batch shape — including the degenerate
+    /// single-request, single-slot runs where spans approach zero.
+    #[test]
+    fn every_report_float_is_finite(
+        seed in 0u64..500,
+        n_requests in 1usize..24,
+        replicas in 1usize..5,
+        policy_idx in 0usize..3,
+        max_batch in 1usize..12,
+        rate_tenths in 1usize..400,
+    ) {
+        let reqs = SyntheticDataset::dynamic_sonnet_online(
+            n_requests,
+            seed,
+            &ArrivalProcess::Poisson { rate_rps: rate_tenths as f64 / 10.0 },
+        );
+        let solo = engine(max_batch).run(&reqs).expect("trace fits");
+        for (name, x) in serving_floats(&solo) {
+            prop_assert!(x.is_finite(), "engine {name} = {x}");
+        }
+        let clustered = cluster(replicas, policy_for(policy_idx), max_batch)
+            .run(&reqs)
+            .expect("trace fits");
+        for (name, x) in cluster_floats(&clustered) {
+            prop_assert!(x.is_finite(), "cluster {name} = {x}");
+        }
     }
 }

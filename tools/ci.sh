@@ -9,6 +9,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
