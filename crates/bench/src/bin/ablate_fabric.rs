@@ -54,7 +54,7 @@ fn main() {
         "Llama-3.1-70B serving latency (ms), batch 128, 100 in / 100 out",
         &["devices", "Gaudi-2 (P2P)", "Gaudi-2+switch", "gain"],
     );
-    let p2p = Device::gaudi2();
+    let p2p = dcm_bench::device("gaudi2");
     let sw = Device::gaudi_like(switched_gaudi());
     for tp in [2usize, 4, 8] {
         let server = LlamaServer::new(LlamaConfig::llama31_70b(), tp);

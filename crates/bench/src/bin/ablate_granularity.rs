@@ -57,9 +57,9 @@ fn main() {
         &["vector B", "Gaudi-2", "Gaudi-2+32B", "A100", "recovered"],
     );
     let devices = [
-        Device::gaudi2(),
+        dcm_bench::device("gaudi2"),
         Device::gaudi_like(sectored),
-        Device::a100(),
+        dcm_bench::device("a100"),
     ];
     for &vb in &[32usize, 64, 128, 256] {
         let cfg = DlrmConfig::rm2(vb);

@@ -34,10 +34,30 @@ use dcm_vllm::engine::ServingEngine;
 use dcm_vllm::fault::{FaultPlan, ResilienceConfig, ShedPolicy, SloSpec};
 use dcm_workloads::llama::LlamaConfig;
 
-const REPLICA_COUNTS: [usize; 3] = [2, 4, 8];
+/// Replica counts for the crash sweep; `DCM_SMOKE=1` shrinks it.
+fn replica_counts() -> &'static [usize] {
+    if dcm_bench::smoke() {
+        &[2]
+    } else {
+        &[2, 4, 8]
+    }
+}
 /// Crash instants as fractions of the arrival-trace span.
-const CRASH_FRACTIONS: [f64; 3] = [0.25, 0.5, 0.75];
-const TRACE_LEN: usize = 64;
+fn crash_fractions() -> &'static [f64] {
+    if dcm_bench::smoke() {
+        &[0.5]
+    } else {
+        &[0.25, 0.5, 0.75]
+    }
+}
+/// Per-replica requests in the synthetic trace; smoke mode shrinks it.
+fn trace_len() -> usize {
+    if dcm_bench::smoke() {
+        8
+    } else {
+        64
+    }
+}
 const TRACE_SEED: u64 = 2026;
 const MAX_DECODE_BATCH: usize = 16;
 /// Per-replica offered load for the crash sweep, as a fraction of
@@ -70,12 +90,12 @@ fn setups() -> Vec<DeviceSetup> {
     vec![
         DeviceSetup {
             label: "Gaudi-2 (vLLMopt)",
-            device: Device::gaudi2(),
+            device: dcm_bench::device("gaudi2"),
             backend: PagedBackend::GaudiOpt,
         },
         DeviceSetup {
             label: "A100 (fused)",
-            device: Device::a100(),
+            device: dcm_bench::device("a100"),
             backend: PagedBackend::A100Fused,
         },
     ]
@@ -84,7 +104,7 @@ fn setups() -> Vec<DeviceSetup> {
 /// Single-replica offline capacity in requests/second (same calibration
 /// as `ext_online_serving`).
 fn calibrate(setup: &DeviceSetup, model: &LlamaConfig) -> f64 {
-    let trace = SyntheticDataset::dynamic_sonnet(TRACE_LEN, TRACE_SEED);
+    let trace = SyntheticDataset::dynamic_sonnet(trace_len(), TRACE_SEED);
     let report = ServingEngine::new(
         &setup.device,
         model.clone(),
@@ -115,7 +135,7 @@ fn cluster(setup: &DeviceSetup, model: &LlamaConfig, replicas: usize) -> Cluster
 /// span of its arrivals — the clock the crash fractions index into.
 fn trace_for(replicas: usize, rate_rps: f64) -> (Vec<dcm_vllm::dataset::Request>, f64) {
     let trace = SyntheticDataset::dynamic_sonnet_online(
-        TRACE_LEN * replicas,
+        trace_len() * replicas,
         TRACE_SEED,
         &ArrivalProcess::Poisson { rate_rps },
     );
@@ -168,10 +188,10 @@ fn main() {
                 "SLO att",
             ],
         );
-        for &replicas in &REPLICA_COUNTS {
+        for &replicas in replica_counts() {
             let rate = CRASH_SWEEP_LOAD * capacity_rps * replicas as f64;
             let (_, span) = trace_for(replicas, rate);
-            for &frac in &CRASH_FRACTIONS {
+            for &frac in crash_fractions() {
                 let plan = FaultPlan::none().with_crash(0, frac * span);
                 let report = resilient(&setup, &model, replicas, rate, &plan, &default_cfg());
                 let s = &report.serving;

@@ -7,7 +7,6 @@
 //! 3×100 GbE of its 24 RoCE ports; DGX A100: one HDR200 NIC per GPU).
 
 use dcm_bench::banner;
-use dcm_compiler::Device;
 use dcm_core::metrics::Table;
 use dcm_net::MultiNodeModel;
 use dcm_workloads::training::{cluster_tokens_per_second, TrainingConfig};
@@ -17,8 +16,8 @@ fn main() {
         "Extension: cluster-scale training (hierarchical all-reduce)",
         "§5 future work: hundreds to thousands of devices",
     );
-    let gaudi = Device::gaudi2();
-    let a100 = Device::a100();
+    let gaudi = dcm_bench::device("gaudi2");
+    let a100 = dcm_bench::device("a100");
 
     // Raw scale-out all-reduce of an 8B model's gradients (16 GB).
     let mut ar = Table::new(

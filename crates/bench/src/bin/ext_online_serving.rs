@@ -29,10 +29,29 @@ use dcm_vllm::engine::ServingEngine;
 use dcm_workloads::llama::LlamaConfig;
 
 /// Offered load as a fraction of aggregate (replicas x single-replica)
-/// offline capacity. 1.0 is the saturation knee.
-const LOAD_FACTORS: [f64; 6] = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
-const REPLICA_COUNTS: [usize; 4] = [1, 2, 4, 8];
-const TRACE_LEN: usize = 64;
+/// offline capacity. 1.0 is the saturation knee. `DCM_SMOKE=1` shrinks
+/// every sweep below to a cheap CI configuration.
+fn load_factors() -> &'static [f64] {
+    if dcm_bench::smoke() {
+        &[0.5, 1.5]
+    } else {
+        &[0.25, 0.5, 0.75, 1.0, 1.5, 2.0]
+    }
+}
+fn replica_counts() -> &'static [usize] {
+    if dcm_bench::smoke() {
+        &[1, 2]
+    } else {
+        &[1, 2, 4, 8]
+    }
+}
+fn trace_len() -> usize {
+    if dcm_bench::smoke() {
+        8
+    } else {
+        64
+    }
+}
 const TRACE_SEED: u64 = 2026;
 const MAX_DECODE_BATCH: usize = 16;
 
@@ -46,12 +65,12 @@ fn setups() -> Vec<DeviceSetup> {
     vec![
         DeviceSetup {
             label: "Gaudi-2 (vLLMopt)",
-            device: Device::gaudi2(),
+            device: dcm_bench::device("gaudi2"),
             backend: PagedBackend::GaudiOpt,
         },
         DeviceSetup {
             label: "A100 (fused)",
-            device: Device::a100(),
+            device: dcm_bench::device("a100"),
             backend: PagedBackend::A100Fused,
         },
     ]
@@ -60,7 +79,7 @@ fn setups() -> Vec<DeviceSetup> {
 /// Single-replica offline capacity in requests/second: offline token
 /// throughput divided by the trace's mean output length.
 fn calibrate(setup: &DeviceSetup, model: &LlamaConfig) -> f64 {
-    let trace = SyntheticDataset::dynamic_sonnet(TRACE_LEN, TRACE_SEED);
+    let trace = SyntheticDataset::dynamic_sonnet(trace_len(), TRACE_SEED);
     let report = ServingEngine::new(
         &setup.device,
         model.clone(),
@@ -86,7 +105,7 @@ fn run_cluster(
     // comparable across cluster sizes (otherwise a large cluster swallows
     // a short trace in its aggregate batch slots and no queue ever forms).
     let trace = SyntheticDataset::dynamic_sonnet_online(
-        TRACE_LEN * replicas,
+        trace_len() * replicas,
         TRACE_SEED,
         &ArrivalProcess::Poisson { rate_rps },
     );
@@ -131,8 +150,8 @@ fn main() {
                 "mean util",
             ],
         );
-        for &replicas in &REPLICA_COUNTS {
-            for &load in &LOAD_FACTORS {
+        for &replicas in replica_counts() {
+            for &load in load_factors() {
                 let offered = load * capacity_rps * replicas as f64;
                 let report = run_cluster(
                     &setup,

@@ -6,7 +6,6 @@
 //! ```
 
 use dcm_bench::{LLM_BATCHES, OUTPUT_LENS, RECSYS_BATCHES, VECTOR_SIZES};
-use dcm_compiler::Device;
 use dcm_core::metrics::Heatmap;
 use dcm_embedding::{BatchedTableOp, EmbeddingConfig, EmbeddingOp};
 use dcm_mem::GatherScatterEngine;
@@ -17,20 +16,17 @@ use dcm_vllm::engine::ServingEngine;
 use dcm_vllm::fault::{FaultPlan, ResilienceConfig, ShedPolicy, SloSpec};
 use dcm_workloads::dlrm::{DlrmConfig, DlrmServer};
 use dcm_workloads::llama::{LlamaConfig, LlamaServer};
-use std::fs;
 use std::path::Path;
 
 fn write_csv(dir: &Path, name: &str, h: &Heatmap) {
-    let path = dir.join(format!("{name}.csv"));
-    fs::write(&path, h.to_csv()).expect("results/ is writable");
-    println!("wrote {}", path.display());
+    dcm_bench::write_artifact(&dir.join(format!("{name}.csv")), &h.to_csv());
 }
 
 fn main() {
     let dir = Path::new("results");
-    fs::create_dir_all(dir).expect("can create results/");
-    let gaudi = Device::gaudi2();
-    let a100 = Device::a100();
+    let smoke = dcm_bench::smoke();
+    let gaudi = dcm_bench::device("gaudi2");
+    let a100 = dcm_bench::device("a100");
 
     // Figure 9: gather utilization per device.
     for device in [&gaudi, &a100] {
@@ -149,9 +145,13 @@ fn main() {
     // Online serving extension: achieved throughput and p99 TTFT versus
     // offered load x replica count (Gaudi-2 vLLMopt, JSQ routing) — the
     // curves behind `ext_online_serving`.
-    let load_factors = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
-    let replica_counts = [1usize, 2, 4, 8];
-    let per_replica_trace = 64;
+    let load_factors: &[f64] = if smoke {
+        &[0.5, 1.5]
+    } else {
+        &[0.25, 0.5, 0.75, 1.0, 1.5, 2.0]
+    };
+    let replica_counts: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let per_replica_trace = if smoke { 8 } else { 64 };
     let seed = 2026;
     let offline = SyntheticDataset::dynamic_sonnet(per_replica_trace, seed);
     let capacity_rps = {
@@ -174,10 +174,10 @@ fn main() {
         "replicas",
         replica_counts.iter().map(|r| r.to_string()).collect(),
     );
-    for &load in &load_factors {
+    for &load in load_factors {
         let mut tput_row = Vec::new();
         let mut p99_row = Vec::new();
-        for &replicas in &replica_counts {
+        for &replicas in replica_counts {
             let trace = SyntheticDataset::dynamic_sonnet_online(
                 per_replica_trace * replicas,
                 seed,
@@ -210,17 +210,17 @@ fn main() {
     // control (queue cap x overload) — the curves behind
     // `ext_fault_tolerance`. Both use a 2.5 s TTFT / 0.5 s TPOT SLO.
     let slo = SloSpec::new(2.5, 0.5);
-    let fault_replicas = [2usize, 4, 8];
-    let crash_fracs = [0.25, 0.5, 0.75];
+    let fault_replicas: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
+    let crash_fracs: &[f64] = if smoke { &[0.5] } else { &[0.25, 0.5, 0.75] };
     let mut fault_goodput = Heatmap::new(
         "ext fault tolerance: goodput (tokens/s) after a replica crash",
         "crash_frac",
         "replicas",
         fault_replicas.iter().map(|r| r.to_string()).collect(),
     );
-    for &frac in &crash_fracs {
+    for &frac in crash_fracs {
         let mut row = Vec::new();
-        for &replicas in &fault_replicas {
+        for &replicas in fault_replicas {
             let rate = 0.75 * capacity_rps * replicas as f64;
             let trace = SyntheticDataset::dynamic_sonnet_online(
                 per_replica_trace * replicas,
@@ -252,17 +252,17 @@ fn main() {
     }
     write_csv(dir, "ext_fault_goodput", &fault_goodput);
 
-    let queue_caps = [4usize, 8, 16, 32];
-    let overloads = [1.5, 2.0];
+    let queue_caps: &[usize] = if smoke { &[8] } else { &[4, 8, 16, 32] };
+    let overloads: &[f64] = if smoke { &[1.5] } else { &[1.5, 2.0] };
     let mut shed_p99 = Heatmap::new(
         "ext fault tolerance: p99 TTFT (s) under admission control",
         "queue_cap",
         "load_factor",
         overloads.iter().map(|l| format!("{l:.1}")).collect(),
     );
-    for &cap in &queue_caps {
+    for &cap in queue_caps {
         let mut row = Vec::new();
-        for &load in &overloads {
+        for &load in overloads {
             let rate = load * capacity_rps * 4.0;
             let trace = SyntheticDataset::dynamic_sonnet_online(
                 per_replica_trace * 4,
@@ -293,6 +293,43 @@ fn main() {
         shed_p99.push_row(cap.to_string(), row);
     }
     write_csv(dir, "ext_fault_shed_p99_ttft", &shed_p99);
+
+    // Structured trace export: one resilient 2-replica run with a
+    // mid-trace crash, as a Chrome `trace_event` JSON (load in
+    // chrome://tracing or Perfetto) plus the per-request span CSV.
+    let trace_in = SyntheticDataset::dynamic_sonnet_online(
+        per_replica_trace * 2,
+        seed,
+        &ArrivalProcess::Poisson {
+            rate_rps: 0.75 * capacity_rps * 2.0,
+        },
+    );
+    let span_s = trace_in.iter().map(|r| r.arrival_s).fold(0.0_f64, f64::max);
+    let (traced_report, trace) = Cluster::homogeneous(
+        &gaudi,
+        &model,
+        1,
+        PagedBackend::GaudiOpt,
+        16,
+        2,
+        RoutingPolicy::JoinShortestQueue,
+    )
+    .run_resilient_traced(
+        &trace_in,
+        &FaultPlan::none().with_crash(0, 0.5 * span_s),
+        &ResilienceConfig {
+            slo,
+            ..ResilienceConfig::default()
+        },
+    )
+    .expect("online trace fits");
+    dcm_bench::write_artifact(&dir.join("ext_serving_trace.json"), &trace.to_chrome_json());
+    dcm_bench::write_artifact(&dir.join("ext_serving_requests.csv"), &trace.request_csv());
+    println!(
+        "traced crash run: {} completed, {} spans",
+        traced_report.serving.completed,
+        trace.spans().len()
+    );
 
     println!("\nall CSVs written to results/");
 }

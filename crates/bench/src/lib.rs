@@ -19,9 +19,12 @@
 //! | `fig15_embedding` | Figure 15 (embedding-lookup bandwidth) |
 //! | `fig17_vllm` | Figure 17 (PagedAttention + serving) |
 //! | `ext_online_serving` | extension: online multi-replica serving sweep |
+//! | `ext_hetero_cluster` | extension: heterogeneous Gaudi-2 + A100 cluster sweep |
 //! | `takeaways` | Key takeaways #1–#7 (directional checks) |
 
+use dcm_compiler::Device;
 use dcm_core::metrics::Table;
+use std::path::Path;
 
 /// Standard embedding-vector-size sweep in bytes (Figures 9, 11, 15).
 pub const VECTOR_SIZES: [usize; 8] = [16, 32, 64, 128, 256, 512, 1024, 2048];
@@ -34,6 +37,47 @@ pub const LLM_BATCHES: [usize; 4] = [8, 16, 32, 64];
 
 /// Standard output-length sweep for LLM figures (Figure 12).
 pub const OUTPUT_LENS: [usize; 5] = [25, 50, 100, 200, 400];
+
+/// Preset device lookup for the bench binaries — [`Device::by_name`]
+/// with a panic naming the offender and the valid choices (a
+/// figure-regeneration binary has no better recovery than telling the
+/// operator what it accepts).
+///
+/// # Panics
+/// Panics on an unknown device name.
+#[must_use]
+pub fn device(name: &str) -> Device {
+    Device::by_name(name).unwrap_or_else(|| {
+        panic!(
+            "unknown device {name:?}; valid presets: {:?}",
+            Device::preset_names()
+        )
+    })
+}
+
+/// Whether the binary should run in cheap smoke-test mode (CI sets
+/// `DCM_SMOKE=1` to exercise every binary without paying for the full
+/// sweeps).
+#[must_use]
+pub fn smoke() -> bool {
+    std::env::var_os("DCM_SMOKE").is_some_and(|v| v == "1")
+}
+
+/// Write a result artifact, panicking with the offending path on
+/// failure — "results/ is writable" tells the operator nothing; the
+/// path that could not be written tells them everything.
+///
+/// # Panics
+/// Panics if `path` cannot be written, naming the path and the OS error.
+pub fn write_artifact(path: &Path, contents: &str) {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create directory {}: {e}", dir.display()));
+    }
+    std::fs::write(path, contents)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
 
 /// Print a banner identifying the regenerated artifact.
 pub fn banner(artifact: &str, paper_claim: &str) {

@@ -22,6 +22,11 @@
 //!   semantics (gathers, attention) can be verified with real data.
 //! * [`metrics`] — statistics and ASCII table/heatmap rendering shared by
 //!   the figure-regeneration binaries.
+//! * [`sim`] — the deterministic discrete-event core (total-order
+//!   [`sim::EventQueue`], monotone [`sim::SimClock`]) every serving event
+//!   loop is built on.
+//! * [`trace`] — structured span tracing ([`trace::TraceRecorder`]) with
+//!   Chrome `trace_event` JSON and per-request CSV export.
 //!
 //! # Example
 //!
@@ -44,9 +49,11 @@ pub mod linalg;
 pub mod metrics;
 pub mod rng;
 pub mod roofline;
+pub mod sim;
 pub mod specs;
 pub mod tensor;
 pub mod timeline;
+pub mod trace;
 
 pub use cost::{Engine, OpCost};
 pub use dtype::DType;

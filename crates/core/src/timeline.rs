@@ -113,6 +113,8 @@ impl Timeline {
     }
 
     /// Sum of wall times of all phases whose label equals `label`.
+    /// A label that matches no phase sums to 0.0 — an unknown label is
+    /// "no time spent there", not an error.
     #[must_use]
     pub fn time_of(&self, label: &str) -> f64 {
         self.phases
@@ -122,7 +124,9 @@ impl Timeline {
             .sum()
     }
 
-    /// Fraction of total time spent in phases labeled `label`.
+    /// Fraction of total time spent in phases labeled `label`. Defined
+    /// as 0.0 both for an unknown label and for an empty (zero-time)
+    /// timeline, so callers never see NaN.
     #[must_use]
     pub fn fraction_of(&self, label: &str) -> f64 {
         let total = self.total().time_s;
@@ -224,5 +228,26 @@ mod tests {
     fn empty_timeline_fraction_is_zero() {
         let tl = Timeline::new();
         assert_eq!(tl.fraction_of("x"), 0.0);
+    }
+
+    #[test]
+    fn unknown_labels_are_zero_never_nan() {
+        // The documented degenerate-input contract: an unknown label is
+        // "no time spent there" (0.0), on empty, zero-time and populated
+        // timelines alike — callers must never see NaN from either query.
+        let mut tl = Timeline::new();
+        assert_eq!(tl.time_of("nope"), 0.0);
+        assert_eq!(tl.fraction_of("nope"), 0.0);
+        // A phase with zero wall time: total is 0, fraction still 0.
+        tl.push("idle", stats_with_time(0.0));
+        assert_eq!(tl.time_of("idle"), 0.0);
+        assert_eq!(tl.fraction_of("idle"), 0.0);
+        assert!(!tl.fraction_of("idle").is_nan());
+        // Populated timeline, label that differs only by case: labels are
+        // exact-match, so this is still "unknown".
+        tl.push("decode", stats_with_time(2.0));
+        assert_eq!(tl.time_of("Decode"), 0.0);
+        assert_eq!(tl.fraction_of("Decode"), 0.0);
+        assert!((tl.fraction_of("decode") - 1.0).abs() < 1e-12);
     }
 }

@@ -10,7 +10,7 @@
 //! trace in global arrival order, advancing every replica's simulation to
 //! each arrival instant before routing it.
 //!
-//! Three classic policies are modeled:
+//! Four policies are modeled:
 //!
 //! * [`RoutingPolicy::RoundRobin`] — arrival-order striping, oblivious to
 //!   load. The baseline every serving paper compares against.
@@ -19,10 +19,24 @@
 //! * [`RoutingPolicy::LeastLoadedKv`] — route to the replica with the
 //!   most free KV-cache blocks, the signal vLLM-style engines actually
 //!   bottleneck on (memory-bound batching, §4.2 of the paper).
+//! * [`RoutingPolicy::WeightedJsq`] — JSQ with queue depth divided by
+//!   each replica's device speed (peak BF16 matrix throughput), the
+//!   device-aware policy for heterogeneous Gaudi + GPU clusters: a
+//!   faster replica absorbs proportionally more arrivals.
 //!
-//! Determinism: replicas are advanced and ties broken in replica-index
-//! order, and every engine is seeded purely by the trace, so a given
-//! (trace, policy, replica count) replays bit-identically.
+//! Replicas may be heterogeneous ([`Cluster::new`] accepts any mix of
+//! engines — e.g. Gaudi-2 and A100 behind one router); the report labels
+//! each replica with its device name.
+//!
+//! The run is driven by one merged [`EventQueue`] holding the fault
+//! timeline (priorities = fault class ranks) and the arrival stream
+//! (priority one past the last fault class), so the `(time, priority,
+//! seq)` total order *is* the event-ordering rule: fault edges at an
+//! arrival's instant apply before it, equal-time faults keep timeline
+//! order, simultaneous arrivals keep trace order. Replicas are advanced
+//! and ties broken in replica-index order, and every engine is seeded
+//! purely by the trace, so a given (trace, policy, replica mix) replays
+//! bit-identically.
 //!
 //! Resilience ([`Cluster::run_resilient`]): the same event loop
 //! additionally replays a [`FaultPlan`] — replica crashes (with optional
@@ -37,11 +51,23 @@
 
 use crate::dataset::Request;
 use crate::engine::{self, ServingEngine, ServingReport, SimState};
-use crate::fault::{FaultPlan, ResilienceConfig, TimelineEvent, TimelineKind};
+use crate::fault::{FaultPlan, ResilienceConfig, TimelineKind};
 use dcm_core::error::{DcmError, Result};
 use dcm_core::metrics::LatencyRecorder;
+use dcm_core::sim::EventQueue;
+use dcm_core::trace::{Span, SpanKind, Trace, TraceRecorder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Arrivals sort after every fault class (crash = 3) at the same instant:
+/// a replica crashing exactly when a request arrives cannot receive it.
+const PRIO_ARRIVAL: u32 = 4;
+
+/// One event in the merged cluster timeline.
+enum ClusterEvent {
+    Fault(TimelineKind),
+    Arrival(Request),
+}
 
 /// How the cluster assigns an arriving request to a replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,6 +80,13 @@ pub enum RoutingPolicy {
     /// Send each arrival to the replica with the lowest fraction of KV
     /// blocks in use; ties go to the lowest index.
     LeastLoadedKv,
+    /// Device-aware JSQ for heterogeneous clusters: send each arrival to
+    /// the replica minimizing `queue_depth / device_speed` (speed = peak
+    /// BF16 matrix throughput), so a faster device absorbs
+    /// proportionally more load; ties go to the lowest index. On a
+    /// homogeneous cluster this decides exactly like
+    /// [`JoinShortestQueue`](Self::JoinShortestQueue).
+    WeightedJsq,
 }
 
 impl RoutingPolicy {
@@ -64,6 +97,7 @@ impl RoutingPolicy {
             RoutingPolicy::RoundRobin => "round_robin",
             RoutingPolicy::JoinShortestQueue => "jsq",
             RoutingPolicy::LeastLoadedKv => "least_kv",
+            RoutingPolicy::WeightedJsq => "wjsq",
         }
     }
 }
@@ -101,12 +135,17 @@ pub struct ClusterReport {
     pub serving: ServingReport,
     /// One entry per replica, in replica-index order.
     pub per_replica: Vec<ReplicaStats>,
+    /// Device name of each replica, in replica-index order — identifies
+    /// the mix in a heterogeneous run.
+    pub replica_devices: Vec<String>,
     /// The routing policy that produced this run.
     pub policy: RoutingPolicy,
 }
 
 impl ClusterReport {
-    /// Mean of the per-replica duty cycles.
+    /// Mean of the per-replica duty cycles. A report with no replicas
+    /// (never produced by [`Cluster`], but constructible) is defined to
+    /// have mean utilization 0.0, not NaN.
     #[must_use]
     pub fn mean_utilization(&self) -> f64 {
         if self.per_replica.is_empty() {
@@ -116,7 +155,9 @@ impl ClusterReport {
     }
 
     /// Largest relative spread in dispatched requests across replicas —
-    /// 0.0 is a perfectly even split.
+    /// 0.0 is a perfectly even split. Defined as 0.0 (balanced) when no
+    /// replica dispatched anything, including the no-replica and
+    /// single-replica degenerate cases.
     #[must_use]
     pub fn dispatch_imbalance(&self) -> f64 {
         let max = self
@@ -234,6 +275,16 @@ impl Cluster {
                 .filter(|(i, _)| alive[*i])
                 .min_by(|(_, a), (_, b)| a.kv_used_fraction().total_cmp(&b.kv_used_fraction()))
                 .map(|(i, _)| i),
+            RoutingPolicy::WeightedJsq => sims
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| alive[*i])
+                .min_by(|(i, a), (j, b)| {
+                    let wa = a.queue_depth() as f64 / self.replicas[*i].speed_weight();
+                    let wb = b.queue_depth() as f64 / self.replicas[*j].speed_weight();
+                    wa.total_cmp(&wb)
+                })
+                .map(|(i, _)| i),
         }
     }
 
@@ -247,23 +298,31 @@ impl Cluster {
         Ok(())
     }
 
-    /// Apply one fault-timeline event at its instant.
+    /// Apply one fault-timeline event at instant `t`.
     fn apply_fault(
         &mut self,
         st: &mut RunState,
-        ev: &TimelineEvent,
+        t: f64,
+        kind: TimelineKind,
         cfg: &ResilienceConfig,
     ) -> Result<()> {
-        match ev.kind {
+        match kind {
             TimelineKind::Crash { replica } => {
                 if !st.alive[replica] {
                     return Ok(()); // already down
                 }
                 // Survivors' state must be current at the crash instant:
                 // re-routing decisions observe it.
-                self.advance_live(st, ev.t)?;
+                self.advance_live(st, t)?;
                 st.alive[replica] = false;
                 st.crashes[replica] += 1;
+                st.router_trace.instant(
+                    SpanKind::Fault,
+                    "crash",
+                    t,
+                    None,
+                    &[("replica", replica as f64)],
+                );
                 let (orphans, lost) = st.sims[replica].drain_unfinished()?;
                 st.lost_tokens += lost;
                 for r in orphans {
@@ -271,16 +330,29 @@ impl Cluster {
                     *tries += 1;
                     if *tries > cfg.max_retries {
                         st.failed += 1;
+                        st.router_trace
+                            .instant(SpanKind::Route, "fail", t, Some(r.id), &[]);
                         continue;
                     }
                     // Crash-displaced work is never shed: it was already
                     // admitted once.
                     match self.route(&st.sims, &st.alive, st.rr) {
-                        None => st.failed += 1,
+                        None => {
+                            st.failed += 1;
+                            st.router_trace
+                                .instant(SpanKind::Route, "fail", t, Some(r.id), &[]);
+                        }
                         Some(target) => {
                             st.retries += 1;
                             st.rr += 1;
                             st.dispatched[target] += 1;
+                            st.router_trace.instant(
+                                SpanKind::Route,
+                                "retry",
+                                t,
+                                Some(r.id),
+                                &[("replica", target as f64)],
+                            );
                             // Original arrival time kept: the retry's
                             // latency is client-perceived, spanning the
                             // lost attempt.
@@ -293,14 +365,35 @@ impl Cluster {
                 // Cold rejoin: queues and KV were drained at the crash;
                 // the replica's clock catches up at its next dispatch.
                 st.alive[replica] = true;
+                st.router_trace.instant(
+                    SpanKind::Fault,
+                    "recover",
+                    t,
+                    None,
+                    &[("replica", replica as f64)],
+                );
             }
             TimelineKind::SlowStart { replica, factor } => {
-                self.advance_live(st, ev.t)?;
+                self.advance_live(st, t)?;
                 st.sims[replica].set_time_scale(factor);
+                st.router_trace.instant(
+                    SpanKind::Fault,
+                    "slow_start",
+                    t,
+                    None,
+                    &[("replica", replica as f64), ("factor", factor)],
+                );
             }
             TimelineKind::SlowEnd { replica } => {
-                self.advance_live(st, ev.t)?;
+                self.advance_live(st, t)?;
                 st.sims[replica].set_time_scale(1.0);
+                st.router_trace.instant(
+                    SpanKind::Fault,
+                    "slow_end",
+                    t,
+                    None,
+                    &[("replica", replica as f64)],
+                );
             }
         }
         Ok(())
@@ -327,6 +420,18 @@ impl Cluster {
         self.run_resilient(requests, &FaultPlan::none(), &ResilienceConfig::default())
     }
 
+    /// Like [`run`](Self::run), additionally recording a structured
+    /// [`Trace`] merging every replica's engine spans (track = replica
+    /// index) with the router's dispatch decisions (track = one past the
+    /// last replica). Tracing is observational only — the report is
+    /// bit-identical to an untraced run on the same trace.
+    ///
+    /// # Errors
+    /// Same failure modes as [`run`](Self::run).
+    pub fn run_traced(&mut self, requests: &[Request]) -> Result<(ClusterReport, Trace)> {
+        self.run_resilient_traced(requests, &FaultPlan::none(), &ResilienceConfig::default())
+    }
+
     /// Serve `requests` while replaying `plan`'s replica faults on the
     /// shared clock, under `cfg`'s shedding/retry/SLO policy.
     ///
@@ -351,13 +456,38 @@ impl Cluster {
         plan: &FaultPlan,
         cfg: &ResilienceConfig,
     ) -> Result<ClusterReport> {
+        Ok(self.run_resilient_impl(requests, plan, cfg, false)?.0)
+    }
+
+    /// Like [`run_resilient`](Self::run_resilient), additionally recording
+    /// a structured [`Trace`] (see [`run_traced`](Self::run_traced)); the
+    /// fault timeline appears as instants on the router track. Tracing is
+    /// observational only — the report is bit-identical to an untraced
+    /// run.
+    ///
+    /// # Errors
+    /// Same failure modes as [`run_resilient`](Self::run_resilient).
+    pub fn run_resilient_traced(
+        &mut self,
+        requests: &[Request],
+        plan: &FaultPlan,
+        cfg: &ResilienceConfig,
+    ) -> Result<(ClusterReport, Trace)> {
+        let (report, spans) = self.run_resilient_impl(requests, plan, cfg, true)?;
+        Ok((report, Trace::new(spans)))
+    }
+
+    fn run_resilient_impl(
+        &mut self,
+        requests: &[Request],
+        plan: &FaultPlan,
+        cfg: &ResilienceConfig,
+        traced: bool,
+    ) -> Result<(ClusterReport, Vec<Span>)> {
         if requests.is_empty() {
             return Err(DcmError::InvalidConfig("empty request trace".to_owned()));
         }
         plan.validate(self.replicas.len())?;
-        let mut ordered: Vec<Request> = requests.to_vec();
-        ordered.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
-        let timeline = plan.timeline();
 
         let n = self.replicas.len();
         let mut st = RunState {
@@ -375,37 +505,77 @@ impl Cluster {
             failed: 0,
             retries: 0,
             lost_tokens: 0,
+            router_trace: TraceRecorder::disabled(),
         };
-
-        let mut next_fault = 0usize;
-        for r in ordered {
-            while next_fault < timeline.len() && timeline[next_fault].t <= r.arrival_s {
-                let ev = timeline[next_fault];
-                self.apply_fault(&mut st, &ev, cfg)?;
-                next_fault += 1;
+        if traced {
+            for (i, sim) in st.sims.iter_mut().enumerate() {
+                sim.trace = TraceRecorder::enabled(u32::try_from(i).expect("replica count"));
             }
-            self.advance_live(&mut st, r.arrival_s)?;
-            match self.route(&st.sims, &st.alive, st.rr) {
-                // Total outage: no replica can accept the request.
-                None => st.failed += 1,
-                Some(target) => {
-                    let sim = &st.sims[target];
-                    if cfg.shed.rejects(sim.queue_depth(), sim.kv_used_fraction()) {
-                        st.shed += 1;
-                    } else {
-                        st.rr += 1;
-                        st.dispatched[target] += 1;
-                        st.sims[target].enqueue(r);
+            st.router_trace = TraceRecorder::enabled(u32::try_from(n).expect("replica count"));
+        }
+
+        // One merged timeline: fault edges carry their class rank as the
+        // priority (timeline order preserved by push order), arrivals the
+        // next rank up in trace order. The queue's (time, priority, seq)
+        // total order then reproduces the old hand-merged rules — faults
+        // due at or before an arrival apply first, simultaneous arrivals
+        // keep trace order — by construction.
+        let mut events: EventQueue<ClusterEvent> = EventQueue::new();
+        for ev in plan.timeline() {
+            events.push(
+                ev.t,
+                u32::from(ev.kind.class_rank()),
+                ClusterEvent::Fault(ev.kind),
+            );
+        }
+        for r in requests {
+            events.push(r.arrival_s, PRIO_ARRIVAL, ClusterEvent::Arrival(*r));
+        }
+
+        while let Some(ev) = events.pop() {
+            match ev.payload {
+                ClusterEvent::Fault(kind) => self.apply_fault(&mut st, ev.time, kind, cfg)?,
+                ClusterEvent::Arrival(r) => {
+                    self.advance_live(&mut st, r.arrival_s)?;
+                    match self.route(&st.sims, &st.alive, st.rr) {
+                        // Total outage: no replica can accept the request.
+                        None => {
+                            st.failed += 1;
+                            st.router_trace.instant(
+                                SpanKind::Route,
+                                "fail",
+                                r.arrival_s,
+                                Some(r.id),
+                                &[],
+                            );
+                        }
+                        Some(target) => {
+                            let sim = &st.sims[target];
+                            if cfg.shed.rejects(sim.queue_depth(), sim.kv_used_fraction()) {
+                                st.shed += 1;
+                                st.router_trace.instant(
+                                    SpanKind::Route,
+                                    "shed",
+                                    r.arrival_s,
+                                    Some(r.id),
+                                    &[("replica", target as f64)],
+                                );
+                            } else {
+                                st.rr += 1;
+                                st.dispatched[target] += 1;
+                                st.router_trace.instant(
+                                    SpanKind::Route,
+                                    "dispatch",
+                                    r.arrival_s,
+                                    Some(r.id),
+                                    &[("replica", target as f64)],
+                                );
+                                st.sims[target].enqueue(r);
+                            }
+                        }
                     }
                 }
             }
-        }
-        // Faults scheduled after the last arrival still apply — a crash
-        // during the drain phase displaces work like any other.
-        while next_fault < timeline.len() {
-            let ev = timeline[next_fault];
-            self.apply_fault(&mut st, &ev, cfg)?;
-            next_fault += 1;
         }
         for (i, (engine, sim)) in self.replicas.iter_mut().zip(st.sims.iter_mut()).enumerate() {
             if st.alive[i] {
@@ -413,7 +583,15 @@ impl Cluster {
             }
             debug_assert!(sim.is_drained(), "run left work behind");
         }
-        Ok(self.aggregate(&st, cfg))
+        let report = self.aggregate(&st, cfg);
+        let mut spans = Vec::new();
+        if traced {
+            for sim in &mut st.sims {
+                spans.append(&mut sim.trace.take_spans());
+            }
+            spans.append(&mut st.router_trace.take_spans());
+        }
+        Ok((report, spans))
     }
 
     fn aggregate(&self, st: &RunState, cfg: &ResilienceConfig) -> ClusterReport {
@@ -483,6 +661,11 @@ impl Cluster {
         ClusterReport {
             serving,
             per_replica,
+            replica_devices: self
+                .replicas
+                .iter()
+                .map(|e| e.device_name().to_owned())
+                .collect(),
             policy: self.policy,
         }
     }
@@ -505,6 +688,8 @@ struct RunState {
     failed: usize,
     retries: usize,
     lost_tokens: usize,
+    /// Router-track span recorder — disabled (free) on untraced runs.
+    router_trace: TraceRecorder,
 }
 
 #[cfg(test)]
@@ -915,5 +1100,111 @@ mod tests {
         assert!(cluster(2, RoutingPolicy::RoundRobin)
             .run_resilient(&reqs, &plan, &ResilienceConfig::default())
             .is_err());
+    }
+
+    /// An all-zero serving report for degenerate-input tests.
+    fn zero_serving() -> ServingReport {
+        ServingReport {
+            completed: 0,
+            total_output_tokens: 0,
+            total_time_s: 0.0,
+            throughput_tps: 0.0,
+            mean_ttft_s: 0.0,
+            mean_tpot_s: 0.0,
+            p50_ttft_s: 0.0,
+            p95_ttft_s: 0.0,
+            p99_ttft_s: 0.0,
+            p50_tpot_s: 0.0,
+            p95_tpot_s: 0.0,
+            p99_tpot_s: 0.0,
+            mean_queue_delay_s: 0.0,
+            p99_queue_delay_s: 0.0,
+            peak_batch: 0,
+            preemptions: 0,
+            shed: 0,
+            failed: 0,
+            retries: 0,
+            lost_tokens: 0,
+            goodput_tps: 0.0,
+            slo_attainment: 1.0,
+        }
+    }
+
+    #[test]
+    fn degenerate_reports_never_divide_by_zero() {
+        // A constructed report with no replicas: the Cluster never
+        // produces one (new() rejects empty), but the aggregation helpers
+        // are documented to return 0.0, not NaN.
+        let empty = ClusterReport {
+            serving: zero_serving(),
+            per_replica: vec![],
+            replica_devices: vec![],
+            policy: RoutingPolicy::RoundRobin,
+        };
+        assert_eq!(empty.mean_utilization(), 0.0);
+        assert_eq!(empty.dispatch_imbalance(), 0.0);
+        assert!(!empty.mean_utilization().is_nan());
+
+        // One replica that dispatched nothing: max == 0 takes the
+        // balanced branch, not 0/0.
+        let idle = ClusterReport {
+            serving: zero_serving(),
+            per_replica: vec![ReplicaStats {
+                dispatched: 0,
+                completed: 0,
+                output_tokens: 0,
+                busy_s: 0.0,
+                utilization: 0.0,
+                preemptions: 0,
+                crashes: 0,
+            }],
+            replica_devices: vec!["Gaudi-2".to_owned()],
+            policy: RoutingPolicy::JoinShortestQueue,
+        };
+        assert_eq!(idle.mean_utilization(), 0.0);
+        assert_eq!(idle.dispatch_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn single_replica_run_is_trivially_balanced() {
+        // A real single-replica run: imbalance is 0 by definition (max
+        // and min are the same replica) and mean utilization equals that
+        // replica's duty cycle exactly.
+        let reqs = online_trace(8, 3, 6.0);
+        let report = cluster(1, RoutingPolicy::JoinShortestQueue)
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(report.dispatch_imbalance(), 0.0);
+        assert_eq!(
+            report.mean_utilization().to_bits(),
+            report.per_replica[0].utilization.to_bits()
+        );
+        assert_eq!(report.replica_devices, ["Gaudi-2"]);
+    }
+
+    #[test]
+    fn report_labels_the_device_mix() {
+        let reqs = online_trace(8, 5, 6.0);
+        let engines = vec![
+            crate::engine::ServingEngine::new(
+                &Device::gaudi2(),
+                LlamaConfig::llama31_8b(),
+                1,
+                PagedBackend::GaudiOpt,
+                4,
+            ),
+            crate::engine::ServingEngine::new(
+                &Device::a100(),
+                LlamaConfig::llama31_8b(),
+                1,
+                PagedBackend::A100Fused,
+                4,
+            ),
+        ];
+        let report = Cluster::new(engines, RoutingPolicy::WeightedJsq)
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(report.replica_devices, ["Gaudi-2", "A100"]);
+        assert_eq!(report.policy.name(), "wjsq");
     }
 }

@@ -16,6 +16,15 @@
 //! simulation ([`SimState`]) so `cluster` can advance several replicas on
 //! one shared clock.
 //!
+//! The simulation is built on the deterministic discrete-event core:
+//! arrivals live in a [`dcm_core::sim::EventQueue`] (total pop order on
+//! `(time, priority, seq)`) and the clock is a monotone
+//! [`dcm_core::sim::SimClock`], so a given trace replays bit-identically
+//! — pinned by `tests/tests/golden_serving.rs` against the pre-refactor
+//! loops. [`ServingEngine::run_traced`] additionally records structured
+//! spans (request lifecycle, prefill/decode steps, preemptions) into a
+//! [`Trace`] exportable as Chrome `trace_event` JSON or per-request CSV.
+//!
 //! Reported metrics follow the paper — end-to-end serving throughput
 //! (output tokens per second), mean TTFT (arrival to first token) and mean
 //! TPOT (per-token decode latency) — extended with exact p50/p95/p99 tail
@@ -28,6 +37,8 @@ use crate::kv_cache::PagedKvCache;
 use dcm_compiler::{CompileOptions, Device};
 use dcm_core::error::{DcmError, Result};
 use dcm_core::metrics::LatencyRecorder;
+use dcm_core::sim::{EventQueue, SimClock};
+use dcm_core::trace::{Span, SpanKind, Trace, TraceRecorder};
 use dcm_core::DType;
 use dcm_workloads::llama::LlamaConfig;
 use serde::{Deserialize, Serialize};
@@ -151,9 +162,11 @@ impl WorkItem {
 /// router can hold many of these and advance them on a shared clock.
 pub(crate) struct SimState {
     kv: PagedKvCache,
-    /// Requests whose arrival time the clock has not reached, in arrival
-    /// order.
-    pending: VecDeque<Request>,
+    /// Requests whose arrival time the clock has not reached. The event
+    /// queue's `(time, priority, seq)` total order makes simultaneous
+    /// arrivals pop in enqueue order — the same behaviour the pre-refactor
+    /// sorted `VecDeque` had, without requiring callers to pre-sort.
+    arrivals: EventQueue<Request>,
     /// Arrived requests awaiting admission; preempted sequences re-enter
     /// at the front (they already hold a place in the service order).
     ready: VecDeque<WorkItem>,
@@ -161,7 +174,7 @@ pub(crate) struct SimState {
     /// Original request by id — O(1) reconstruction of a preemption
     /// victim's work item (previously an O(requests) scan per preemption).
     meta: HashMap<u64, Request>,
-    t: f64,
+    clock: SimClock,
     /// Time spent executing prefill or decode steps (for utilization).
     pub(crate) busy_s: f64,
     /// Step-time multiplier (1.0 = nominal); the cluster layer raises it
@@ -172,35 +185,39 @@ pub(crate) struct SimState {
     pub(crate) queue_delay: LatencyRecorder,
     /// One entry per completed request — SLO/goodput accounting.
     pub(crate) finished: Vec<FinishedRequest>,
+    /// Span recorder — [`TraceRecorder::disabled`] (free) unless the run
+    /// was started through a traced entry point. Purely observational:
+    /// recording must never influence scheduling or the report.
+    pub(crate) trace: TraceRecorder,
     total_output: usize,
     completed: usize,
     peak_batch: usize,
     preemptions: usize,
 }
 
+/// Arrivals are the only event class in a single-engine queue; the
+/// cluster layer reuses the same numbering and slots its fault edges at
+/// lower values (see `cluster`).
+const PRIO_ARRIVAL: u32 = 4;
+
 impl SimState {
-    /// Hand the simulation a future (or immediate) arrival. Arrivals must
-    /// be enqueued in non-decreasing time order.
+    /// Hand the simulation a future (or immediate) arrival. Any enqueue
+    /// order is fine: the event queue pops arrivals by
+    /// `(time, enqueue order)`.
     pub(crate) fn enqueue(&mut self, request: Request) {
-        debug_assert!(
-            self.pending
-                .back()
-                .is_none_or(|r| r.arrival_s <= request.arrival_s),
-            "arrivals must be enqueued in time order"
-        );
         self.meta.insert(request.id, request);
-        self.pending.push_back(request);
+        self.arrivals.push(request.arrival_s, PRIO_ARRIVAL, request);
     }
 
     /// Current simulated time.
     pub(crate) fn now(&self) -> f64 {
-        self.t
+        self.clock.now()
     }
 
     /// Requests in the system (queued or in service) — the
     /// join-shortest-queue routing signal.
     pub(crate) fn queue_depth(&self) -> usize {
-        self.pending.len() + self.ready.len() + self.active.len()
+        self.arrivals.len() + self.ready.len() + self.active.len()
     }
 
     /// Fraction of KV blocks in use — the least-loaded-KV routing signal.
@@ -210,7 +227,7 @@ impl SimState {
 
     /// Whether all enqueued work has completed.
     pub(crate) fn is_drained(&self) -> bool {
-        self.pending.is_empty() && self.ready.is_empty() && self.active.is_empty()
+        self.arrivals.is_empty() && self.ready.is_empty() && self.active.is_empty()
     }
 
     pub(crate) fn completed(&self) -> usize {
@@ -255,7 +272,12 @@ impl SimState {
     /// live allocation), which would indicate an engine bug.
     pub(crate) fn drain_unfinished(&mut self) -> Result<(Vec<Request>, usize)> {
         let mut lost = 0usize;
-        let mut out: Vec<Request> = self.pending.drain(..).collect();
+        let mut out: Vec<Request> = self
+            .arrivals
+            .drain_ordered()
+            .into_iter()
+            .map(|e| e.payload)
+            .collect();
         for w in std::mem::take(&mut self.ready) {
             lost += w.resumed.as_ref().map_or(0, |s| s.produced);
             out.push(w.request);
@@ -279,9 +301,13 @@ impl SimState {
     }
 
     fn promote_arrivals(&mut self) {
-        while self.pending.front().is_some_and(|r| r.arrival_s <= self.t) {
-            let r = self.pending.pop_front().expect("checked non-empty");
-            self.ready.push_back(WorkItem::fresh(r));
+        while self
+            .arrivals
+            .peek_time()
+            .is_some_and(|t| t <= self.clock.now())
+        {
+            let e = self.arrivals.pop().expect("checked non-empty");
+            self.ready.push_back(WorkItem::fresh(e.payload));
         }
     }
 
@@ -290,11 +316,12 @@ impl SimState {
         let (p50_ttft_s, p95_ttft_s, p99_ttft_s) = self.ttft.summary();
         let (p50_tpot_s, p95_tpot_s, p99_tpot_s) = self.tpot.summary();
         let (met_requests, met_tokens) = slo_met(&self.finished, slo);
+        let t = self.clock.now();
         ServingReport {
             completed: self.completed,
             total_output_tokens: self.total_output,
-            total_time_s: self.t,
-            throughput_tps: safe_rate(self.total_output, self.t),
+            total_time_s: t,
+            throughput_tps: safe_rate(self.total_output, t),
             mean_ttft_s: self.ttft.mean(),
             mean_tpot_s: self.tpot.mean(),
             p50_ttft_s,
@@ -311,7 +338,7 @@ impl SimState {
             failed: 0,
             retries: 0,
             lost_tokens: 0,
-            goodput_tps: safe_rate(met_tokens, self.t),
+            goodput_tps: safe_rate(met_tokens, t),
             slo_attainment: attainment(met_requests, self.completed),
         }
     }
@@ -415,6 +442,21 @@ impl ServingEngine {
         self
     }
 
+    /// Name of the device this engine serves on (e.g. `"Gaudi-2"`) — the
+    /// per-replica device label in heterogeneous-cluster reports.
+    #[must_use]
+    pub fn device_name(&self) -> &str {
+        self.device.name()
+    }
+
+    /// Relative capacity weight for device-aware routing: the device's
+    /// peak BF16 matrix throughput. A weighted-JSQ router divides queue
+    /// depth by this, so a faster replica absorbs proportionally more
+    /// arrivals.
+    pub(crate) fn speed_weight(&self) -> f64 {
+        self.device.matrix_peak_flops(DType::Bf16)
+    }
+
     fn nonattn_step_time(&mut self, batch: usize) -> f64 {
         if let Some(&t) = self.nonattn_cache.get(&batch) {
             return t;
@@ -461,17 +503,18 @@ impl ServingEngine {
         };
         Ok(SimState {
             kv,
-            pending: VecDeque::new(),
+            arrivals: EventQueue::new(),
             ready: VecDeque::new(),
             active: BTreeMap::new(),
             meta: HashMap::new(),
-            t: 0.0,
+            clock: SimClock::new(),
             busy_s: 0.0,
             time_scale: 1.0,
             ttft: LatencyRecorder::new(),
             tpot: LatencyRecorder::new(),
             queue_delay: LatencyRecorder::new(),
             finished: Vec::new(),
+            trace: TraceRecorder::disabled(),
             total_output: 0,
             completed: 0,
             peak_batch: 0,
@@ -494,26 +537,36 @@ impl ServingEngine {
         if can_admit {
             let w = sim.ready.pop_front().expect("checked non-empty");
             let r = w.request;
-            sim.kv.admit(r.id, w.admit_tokens())?;
+            let admit_tokens = w.admit_tokens();
+            sim.kv.admit(r.id, admit_tokens)?;
             if w.resumed.is_none() {
-                sim.queue_delay.record(sim.t - r.arrival_s);
+                sim.queue_delay.record(sim.clock.now() - r.arrival_s);
             }
             // Prefill covers the prompt plus, for a resumed sequence, the
             // recomputation of its already-generated tokens. The time
             // scale models transient slowdown windows (1.0 = nominal).
-            let prefill = self.prefill_time(w.admit_tokens()) * sim.time_scale;
-            sim.t += prefill;
+            let t0 = sim.clock.now();
+            let prefill = self.prefill_time(admit_tokens) * sim.time_scale;
+            sim.clock.advance_by(prefill);
             sim.busy_s += prefill;
+            sim.trace.span(
+                SpanKind::Prefill,
+                "prefill",
+                t0,
+                prefill,
+                Some(r.id),
+                &[("tokens", admit_tokens as f64)],
+            );
             sim.kv.append_token(r.id)?;
             let seq = match w.resumed {
                 Some(state) => state,
                 None => {
                     // Prefill emits the first output token.
-                    sim.ttft.record(sim.t - r.arrival_s);
+                    sim.ttft.record(sim.clock.now() - r.arrival_s);
                     sim.total_output += 1;
                     ActiveSeq {
                         remaining: r.output_len - 1,
-                        first_token_t: sim.t,
+                        first_token_t: sim.clock.now(),
                         produced: 1,
                     }
                 }
@@ -529,6 +582,17 @@ impl ServingEngine {
                     tpot_s: None,
                     output_tokens: seq.produced,
                 });
+                sim.trace.span(
+                    SpanKind::Request,
+                    "request",
+                    r.arrival_s,
+                    sim.clock.now() - r.arrival_s,
+                    Some(r.id),
+                    &[
+                        ("output_tokens", seq.produced as f64),
+                        ("ttft_s", seq.first_token_t - r.arrival_s),
+                    ],
+                );
             } else {
                 sim.active.insert(r.id, seq);
             }
@@ -547,16 +611,26 @@ impl ServingEngine {
             return Ok(false); // idle: awaiting future arrivals (or drained)
         }
         // One decode step for all active sequences.
-        sim.peak_batch = sim.peak_batch.max(sim.active.len());
+        let batch = sim.active.len();
+        sim.peak_batch = sim.peak_batch.max(batch);
         let lens: Vec<usize> = sim
             .active
             .keys()
             .map(|id| sim.kv.tokens_of(*id).expect("active implies live"))
             .collect();
         let attn = self.attention.decode_cost(&lens, 0.0).time();
-        let step = (self.nonattn_step_time(sim.active.len()) + attn) * sim.time_scale;
-        sim.t += step;
+        let step = (self.nonattn_step_time(batch) + attn) * sim.time_scale;
+        let t0 = sim.clock.now();
+        sim.clock.advance_by(step);
         sim.busy_s += step;
+        sim.trace.span(
+            SpanKind::Decode,
+            "decode",
+            t0,
+            step,
+            None,
+            &[("batch", batch as f64)],
+        );
         let ids: Vec<u64> = sim.active.keys().copied().collect();
         for id in ids {
             if !sim.active.contains_key(&id) {
@@ -576,6 +650,13 @@ impl ServingEngine {
                 let state = sim.active.remove(&victim).expect("victim is active");
                 sim.kv.release(victim)?;
                 sim.preemptions += 1;
+                sim.trace.instant(
+                    SpanKind::Preemption,
+                    "preempt",
+                    sim.clock.now(),
+                    Some(victim),
+                    &[("recompute_tokens", state.produced as f64)],
+                );
                 let victim_req = sim.meta[&victim];
                 sim.ready.push_front(WorkItem {
                     request: victim_req,
@@ -594,9 +675,10 @@ impl ServingEngine {
             if seq.remaining == 0 {
                 // produced >= 2 here: admission emitted the first token
                 // and this decode step at least one more.
-                let tpot = (sim.t - seq.first_token_t) / (seq.produced - 1) as f64;
+                let tpot = (sim.clock.now() - seq.first_token_t) / (seq.produced - 1) as f64;
                 sim.tpot.record(tpot);
-                let ttft_s = seq.first_token_t - sim.meta[&id].arrival_s;
+                let arrival_s = sim.meta[&id].arrival_s;
+                let ttft_s = seq.first_token_t - arrival_s;
                 let output_tokens = seq.produced;
                 sim.finished.push(FinishedRequest {
                     ttft_s,
@@ -606,6 +688,14 @@ impl ServingEngine {
                 sim.active.remove(&id);
                 sim.kv.release(id)?;
                 sim.completed += 1;
+                sim.trace.span(
+                    SpanKind::Request,
+                    "request",
+                    arrival_s,
+                    sim.clock.now() - arrival_s,
+                    Some(id),
+                    &[("output_tokens", output_tokens as f64), ("ttft_s", ttft_s)],
+                );
             }
         }
         Ok(true)
@@ -618,7 +708,7 @@ impl ServingEngine {
     pub(crate) fn sim_advance(&mut self, sim: &mut SimState, limit: f64) -> Result<()> {
         loop {
             sim.promote_arrivals();
-            if sim.t >= limit {
+            if sim.clock.now() >= limit {
                 return Ok(());
             }
             if self.sim_step(sim)? {
@@ -626,8 +716,10 @@ impl ServingEngine {
             }
             // Idle: fast-forward to the next arrival if it is within the
             // horizon, otherwise yield back to the caller.
-            match sim.pending.front() {
-                Some(r) if r.arrival_s < limit => sim.t = sim.t.max(r.arrival_s),
+            match sim.arrivals.peek_time() {
+                Some(at) if at < limit => {
+                    sim.clock.advance_to(at);
+                }
                 _ => return Ok(()),
             }
         }
@@ -649,19 +741,43 @@ impl ServingEngine {
     /// cannot fit in the KV cache, or [`DcmError::InvalidConfig`] for an
     /// empty trace.
     pub fn run(&mut self, requests: &[Request]) -> Result<ServingReport> {
+        Ok(self.run_impl(requests, false)?.0)
+    }
+
+    /// Like [`run`](Self::run), additionally recording a structured
+    /// [`Trace`] of the run: one lifecycle span per completed request plus
+    /// every prefill, decode step and preemption. Tracing is observational
+    /// only — the report is bit-identical to an untraced [`run`](Self::run)
+    /// on the same trace (property-pinned in `tests/tests/prop_trace.rs`).
+    ///
+    /// # Errors
+    /// Same failure modes as [`run`](Self::run).
+    pub fn run_traced(&mut self, requests: &[Request]) -> Result<(ServingReport, Trace)> {
+        let (report, spans) = self.run_impl(requests, true)?;
+        Ok((report, Trace::new(spans)))
+    }
+
+    fn run_impl(
+        &mut self,
+        requests: &[Request],
+        traced: bool,
+    ) -> Result<(ServingReport, Vec<Span>)> {
         if requests.is_empty() {
             return Err(DcmError::InvalidConfig("empty request trace".to_owned()));
         }
         let mut sim = self.make_sim()?;
-        let mut ordered: Vec<Request> = requests.to_vec();
-        // Stable by arrival time: simultaneous arrivals keep trace order,
-        // so an all-zero trace is served in exactly the given order.
-        ordered.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
-        for r in ordered {
-            sim.enqueue(r);
+        if traced {
+            sim.trace = TraceRecorder::enabled(0);
+        }
+        // The event queue pops by (arrival, enqueue order) — exactly the
+        // stable sort the pre-refactor path applied here — so an all-zero
+        // trace is served in exactly the given order.
+        for r in requests {
+            sim.enqueue(*r);
         }
         self.sim_advance(&mut sim, f64::INFINITY)?;
-        Ok(sim.report(&self.slo))
+        let report = sim.report(&self.slo);
+        Ok((report, sim.trace.take_spans()))
     }
 }
 

@@ -323,7 +323,10 @@ pub(crate) enum TimelineKind {
 }
 
 impl TimelineKind {
-    fn class_rank(self) -> u8 {
+    /// Tie-break class at equal times — the priority the cluster's event
+    /// queue orders same-instant events by (arrivals use the next rank
+    /// up, so any fault edge precedes an arrival at the same instant).
+    pub(crate) fn class_rank(self) -> u8 {
         match self {
             TimelineKind::Recover { .. } => 0,
             TimelineKind::SlowEnd { .. } => 1,
@@ -332,7 +335,7 @@ impl TimelineKind {
         }
     }
 
-    fn replica(self) -> usize {
+    pub(crate) fn replica(self) -> usize {
         match self {
             TimelineKind::Recover { replica }
             | TimelineKind::SlowEnd { replica }

@@ -1,0 +1,259 @@
+//! Bit-exact golden pins for the serving reports.
+//!
+//! These fixtures were captured from the pre-refactor event loops (the
+//! hand-merged `while` loops that predate the `dcm-core::sim` discrete-
+//! event core) and pin the refactored paths to them bit for bit: offline,
+//! online, preempting, clustered, and seeded-fault runs. If a scheduler
+//! change intentionally moves these values, regenerate with
+//! `cargo run --release -p dcm-bench --bin golden_capture` and record the
+//! reason in CHANGELOG.md.
+
+use dcm_compiler::Device;
+use dcm_vllm::attention::PagedBackend;
+use dcm_vllm::cluster::{Cluster, ClusterReport, RoutingPolicy};
+use dcm_vllm::dataset::{ArrivalProcess, SyntheticDataset};
+use dcm_vllm::engine::{ServingEngine, ServingReport};
+use dcm_vllm::fault::{FaultPlan, ResilienceConfig, ShedPolicy};
+use dcm_workloads::llama::LlamaConfig;
+
+/// Canonical digest of a [`ServingReport`]: counters verbatim, floats as
+/// IEEE-754 bit patterns (so "close" is not "equal").
+fn serving_digest(r: &ServingReport) -> Vec<u64> {
+    vec![
+        r.completed as u64,
+        r.total_output_tokens as u64,
+        r.peak_batch as u64,
+        r.preemptions as u64,
+        r.total_time_s.to_bits(),
+        r.throughput_tps.to_bits(),
+        r.mean_ttft_s.to_bits(),
+        r.mean_tpot_s.to_bits(),
+        r.p99_ttft_s.to_bits(),
+        r.p99_tpot_s.to_bits(),
+        r.mean_queue_delay_s.to_bits(),
+        r.goodput_tps.to_bits(),
+    ]
+}
+
+fn replica_digest(r: &ClusterReport) -> Vec<u64> {
+    r.per_replica
+        .iter()
+        .flat_map(|p| {
+            vec![
+                p.dispatched as u64,
+                p.completed as u64,
+                p.output_tokens as u64,
+                p.busy_s.to_bits(),
+            ]
+        })
+        .collect()
+}
+
+fn counts_digest(r: &ClusterReport) -> Vec<u64> {
+    vec![
+        r.serving.shed as u64,
+        r.serving.failed as u64,
+        r.serving.retries as u64,
+        r.serving.lost_tokens as u64,
+    ]
+}
+
+fn assert_digest(name: &str, got: &[u64], want: &[u64]) {
+    assert_eq!(
+        got, want,
+        "{name}: report moved from the pre-refactor golden (see golden_capture)"
+    );
+}
+
+fn engine(max_batch: usize) -> ServingEngine {
+    ServingEngine::new(
+        &Device::gaudi2(),
+        LlamaConfig::llama31_8b(),
+        1,
+        PagedBackend::GaudiOpt,
+        max_batch,
+    )
+}
+
+fn cluster3() -> Cluster {
+    Cluster::homogeneous(
+        &Device::gaudi2(),
+        &LlamaConfig::llama31_8b(),
+        1,
+        PagedBackend::GaudiOpt,
+        8,
+        3,
+        RoutingPolicy::JoinShortestQueue,
+    )
+}
+
+fn online_trace() -> Vec<dcm_vllm::dataset::Request> {
+    SyntheticDataset::dynamic_sonnet_online(24, 17, &ArrivalProcess::Poisson { rate_rps: 10.0 })
+}
+
+#[test]
+fn offline_engine_matches_pre_refactor_bits() {
+    let reqs = SyntheticDataset::dynamic_sonnet(16, 11);
+    let r = engine(8).run(&reqs).expect("offline trace fits");
+    assert_digest(
+        "offline_engine",
+        &serving_digest(&r),
+        &[
+            16,
+            2764,
+            8,
+            0,
+            4618458778268959312,
+            4646790976827155636,
+            4608234039577542852,
+            4577393965799463008,
+            4614226168299099512,
+            4579938467306359024,
+            4607921397973548550,
+            4646790976827155636,
+        ],
+    );
+}
+
+#[test]
+fn online_engine_matches_pre_refactor_bits() {
+    let reqs =
+        SyntheticDataset::dynamic_sonnet_online(24, 5, &ArrivalProcess::Poisson { rate_rps: 8.0 });
+    let r = engine(4).run(&reqs).expect("online trace fits");
+    assert_digest(
+        "online_engine",
+        &serving_digest(&r),
+        &[
+            24,
+            7137,
+            4,
+            0,
+            4625314167525170884,
+            4646355548638818339,
+            4616586126629945117,
+            4576047895701363930,
+            4622418551496611724,
+            4577468447337247791,
+            4616515782541194252,
+            4646008353723182187,
+        ],
+    );
+}
+
+#[test]
+fn preempting_engine_matches_pre_refactor_bits() {
+    let reqs = SyntheticDataset::fixed(4, 256, 200);
+    let r = engine(4)
+        .with_kv_blocks(12)
+        .run(&reqs)
+        .expect("tight trace fits");
+    assert_digest(
+        "preempting_engine",
+        &serving_digest(&r),
+        &[
+            4,
+            800,
+            4,
+            1,
+            4611493220050699765,
+            4645898408950904238,
+            4582601733650384024,
+            4575621475308669772,
+            4585716430829362502,
+            4576711515616312198,
+            4579487036471405545,
+            4645898408950904238,
+        ],
+    );
+}
+
+#[test]
+fn online_cluster_matches_pre_refactor_bits() {
+    let r = cluster3().run(&online_trace()).expect("trace fits");
+    assert_digest(
+        "online_cluster",
+        &serving_digest(&r.serving),
+        &[
+            24,
+            4457,
+            7,
+            0,
+            4620928187372709875,
+            4647868738699731554,
+            4589849959937565101,
+            4576355189978864008,
+            4596682061923708104,
+            4578491526432960018,
+            4578074065957388091,
+            4647868738699731554,
+        ],
+    );
+    assert_digest(
+        "online_cluster.replicas",
+        &replica_digest(&r),
+        &[
+            8,
+            8,
+            1903,
+            4620911213955761624,
+            8,
+            8,
+            1350,
+            4616457194149076696,
+            8,
+            8,
+            1204,
+            4615380097498559883,
+        ],
+    );
+    assert_digest("online_cluster.counts", &counts_digest(&r), &[0, 0, 0, 0]);
+}
+
+#[test]
+fn seeded_fault_cluster_matches_pre_refactor_bits() {
+    let plan = FaultPlan::random_crashes(3, 1, 3.0, 97).with_slowdown(1, 0.5, 1.5, 2.0);
+    let cfg = ResilienceConfig {
+        shed: ShedPolicy::queue_cap(12),
+        ..ResilienceConfig::default()
+    };
+    let r = cluster3()
+        .run_resilient(&online_trace(), &plan, &cfg)
+        .expect("fault trace fits");
+    assert_digest(
+        "fault_cluster",
+        &serving_digest(&r.serving),
+        &[
+            24,
+            4725,
+            8,
+            0,
+            4621501171464415072,
+            4647517493430144014,
+            4599593397990880114,
+            4576655773947045117,
+            4611812297472677538,
+            4579725417935471343,
+            4598297179413839266,
+            4647017800922222981,
+        ],
+    );
+    assert_digest(
+        "fault_cluster.replicas",
+        &replica_digest(&r),
+        &[
+            11,
+            11,
+            3008,
+            4621484198047466822,
+            8,
+            1,
+            306,
+            4611813510313610023,
+            12,
+            12,
+            1411,
+            4614628698741604736,
+        ],
+    );
+    assert_digest("fault_cluster.counts", &counts_digest(&r), &[0, 0, 7, 268]);
+}

@@ -18,4 +18,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# Smoke-run every figure/extension binary with the cheap DCM_SMOKE=1
+# configuration: sweeps shrink to a handful of points, but every code
+# path (tables, CSV export, trace export) still executes end to end.
+echo "==> smoke-running bench binaries (DCM_SMOKE=1)"
+cargo build -q --release -p dcm-bench
+for bin in crates/bench/src/bin/*.rs; do
+    name=$(basename "$bin" .rs)
+    echo "==> smoke: $name"
+    DCM_SMOKE=1 cargo run -q --release -p dcm-bench --bin "$name" >/dev/null
+done
+
 echo "==> ci OK"
