@@ -188,24 +188,30 @@ fn main() {
                 "SLO att",
             ],
         );
-        for &replicas in replica_counts() {
+        // Independent (replicas, crash-fraction) cells — evaluate on
+        // DCM_THREADS workers, tabulate serially in input order.
+        let points: Vec<(usize, f64)> = replica_counts()
+            .iter()
+            .flat_map(|&replicas| crash_fractions().iter().map(move |&frac| (replicas, frac)))
+            .collect();
+        let reports = dcm_bench::sweep(&points, |&(replicas, frac)| {
             let rate = CRASH_SWEEP_LOAD * capacity_rps * replicas as f64;
             let (_, span) = trace_for(replicas, rate);
-            for &frac in crash_fractions() {
-                let plan = FaultPlan::none().with_crash(0, frac * span);
-                let report = resilient(&setup, &model, replicas, rate, &plan, &default_cfg());
-                let s = &report.serving;
-                t.push(&[
-                    replicas.to_string(),
-                    format!("{:.0}% span", frac * 100.0),
-                    format!("{}/{}", s.completed, s.offered()),
-                    s.retries.to_string(),
-                    s.lost_tokens.to_string(),
-                    format!("{:.2}", s.p99_ttft_s),
-                    format!("{:.0}", s.goodput_tps),
-                    format!("{:.2}", s.slo_attainment),
-                ]);
-            }
+            let plan = FaultPlan::none().with_crash(0, frac * span);
+            resilient(&setup, &model, replicas, rate, &plan, &default_cfg())
+        });
+        for (&(replicas, frac), report) in points.iter().zip(&reports) {
+            let s = &report.serving;
+            t.push(&[
+                replicas.to_string(),
+                format!("{:.0}% span", frac * 100.0),
+                format!("{}/{}", s.completed, s.offered()),
+                s.retries.to_string(),
+                s.lost_tokens.to_string(),
+                format!("{:.2}", s.p99_ttft_s),
+                format!("{:.0}", s.goodput_tps),
+                format!("{:.2}", s.slo_attainment),
+            ]);
         }
         print!("{}", t.render());
     }
@@ -240,12 +246,14 @@ fn main() {
             ),
             ("KV cap 90%", ShedPolicy::kv_cap(0.9)),
         ];
-        for (name, shed) in policies {
+        let shed_reports = dcm_bench::sweep(&policies, |&(_, shed)| {
             let cfg = ResilienceConfig {
                 shed,
                 ..default_cfg()
             };
-            let report = resilient(&setup, &model, replicas, rate, &FaultPlan::none(), &cfg);
+            resilient(&setup, &model, replicas, rate, &FaultPlan::none(), &cfg)
+        });
+        for (&(name, _), report) in policies.iter().zip(&shed_reports) {
             let s = &report.serving;
             t.push(&[
                 name.to_owned(),
@@ -266,22 +274,14 @@ fn main() {
     let replicas = 4;
     let rate = CRASH_SWEEP_LOAD * capacity_rps * replicas as f64;
     let (_, span) = trace_for(replicas, rate);
-    let dead = resilient(
-        gaudi,
-        &model,
-        replicas,
-        rate,
-        &FaultPlan::none().with_crash(0, 0.25 * span),
-        &default_cfg(),
-    );
-    let healed = resilient(
-        gaudi,
-        &model,
-        replicas,
-        rate,
-        &FaultPlan::none().with_recovering_crash(0, 0.25 * span, 0.5 * span),
-        &default_cfg(),
-    );
+    let recovery_plans = [
+        FaultPlan::none().with_crash(0, 0.25 * span),
+        FaultPlan::none().with_recovering_crash(0, 0.25 * span, 0.5 * span),
+    ];
+    let recovery = dcm_bench::sweep(&recovery_plans, |plan| {
+        resilient(gaudi, &model, replicas, rate, plan, &default_cfg())
+    });
+    let (dead, healed) = (&recovery[0], &recovery[1]);
     println!(
         "\nrecovery check (Gaudi-2, 4 replicas, crash at 25% span): \
          goodput {:.0} t/s dead -> {:.0} t/s recovered at 50% span ({})",
@@ -297,25 +297,17 @@ fn main() {
     // Graceful-degradation check: under overload the queue cap must bound
     // the p99 TTFT tail relative to the open queue.
     let rate = OVERLOAD * capacity_rps * replicas as f64;
-    let open = resilient(
-        gaudi,
-        &model,
-        replicas,
-        rate,
-        &FaultPlan::none(),
-        &default_cfg(),
-    );
-    let capped = resilient(
-        gaudi,
-        &model,
-        replicas,
-        rate,
-        &FaultPlan::none(),
-        &ResilienceConfig {
+    let degradation_cfgs = [
+        default_cfg(),
+        ResilienceConfig {
             shed: ShedPolicy::queue_cap(2 * MAX_DECODE_BATCH),
             ..default_cfg()
         },
-    );
+    ];
+    let degradation = dcm_bench::sweep(&degradation_cfgs, |cfg| {
+        resilient(gaudi, &model, replicas, rate, &FaultPlan::none(), cfg)
+    });
+    let (open, capped) = (&degradation[0], &degradation[1]);
     println!(
         "graceful-degradation check (Gaudi-2, 4 replicas, {OVERLOAD}x load): \
          p99 TTFT {:.2}s open queue -> {:.2}s with queue cap, {} shed ({})",

@@ -27,13 +27,22 @@ fn main() {
         "GEMM: achieved TFLOPS (BF16)",
         &["shape", "Gaudi-2", "Gaudi-3", "A100"],
     );
-    for n in [2048usize, 4096, 8192] {
+    let sizes = [2048usize, 4096, 8192];
+    let gemm_rows = dcm_bench::sweep(&sizes, |&n| {
         let s = GemmShape::square(n);
-        t.push(&[
+        (
             s.to_string(),
-            format!("{:.0}", g2.gemm(s, DType::Bf16).achieved_flops() / 1e12),
-            format!("{:.0}", g3.gemm(s, DType::Bf16).achieved_flops() / 1e12),
-            format!("{:.0}", a100.gemm(s, DType::Bf16).achieved_flops() / 1e12),
+            g2.gemm(s, DType::Bf16).achieved_flops() / 1e12,
+            g3.gemm(s, DType::Bf16).achieved_flops() / 1e12,
+            a100.gemm(s, DType::Bf16).achieved_flops() / 1e12,
+        )
+    });
+    for (shape, f2, f3, fa) in &gemm_rows {
+        t.push(&[
+            shape.clone(),
+            format!("{f2:.0}"),
+            format!("{f3:.0}"),
+            format!("{fa:.0}"),
         ]);
     }
     print!("{}", t.render());
@@ -42,15 +51,20 @@ fn main() {
         "Llama serving, batch 64, 100 in / 100 out: end-to-end latency (ms)",
         &["model x devices", "Gaudi-2", "Gaudi-3", "A100", "G3 vs G2"],
     );
-    for (cfg, tp) in [
+    let configs = [
         (LlamaConfig::llama31_8b(), 1usize),
         (LlamaConfig::llama31_70b(), 2),
         (LlamaConfig::llama31_70b(), 8),
-    ] {
-        let server = LlamaServer::new(cfg.clone(), tp);
-        let t2 = server.serve(&g2, 64, 100, 100).total_time_s();
-        let t3 = server.serve(&g3, 64, 100, 100).total_time_s();
-        let ta = server.serve(&a100, 64, 100, 100).total_time_s();
+    ];
+    let serve_rows = dcm_bench::sweep(&configs, |(cfg, tp)| {
+        let server = LlamaServer::new(cfg.clone(), *tp);
+        (
+            server.serve(&g2, 64, 100, 100).total_time_s(),
+            server.serve(&g3, 64, 100, 100).total_time_s(),
+            server.serve(&a100, 64, 100, 100).total_time_s(),
+        )
+    });
+    for ((cfg, tp), &(t2, t3, ta)) in configs.iter().zip(&serve_rows) {
         l.push(&[
             format!("{} x{tp}", cfg.name),
             format!("{:.0}", t2 * 1e3),

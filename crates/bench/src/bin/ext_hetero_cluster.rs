@@ -163,8 +163,8 @@ fn main() {
          policies on skewed mixes",
     );
     let model = LlamaConfig::llama31_8b();
-    let gaudi_rps = calibrate("gaudi2", &model);
-    let a100_rps = calibrate("a100", &model);
+    let caps = dcm_bench::sweep(&["gaudi2", "a100"], |name| calibrate(name, &model));
+    let (gaudi_rps, a100_rps) = (caps[0], caps[1]);
     println!(
         "\nsingle-replica offline capacity: Gaudi-2 {gaudi_rps:.2} req/s, A100 {a100_rps:.2} req/s"
     );
@@ -197,15 +197,24 @@ fn main() {
             "mean util",
         ],
     );
-    for n_gaudi in (0..=pool).rev() {
+    // Flatten the mix x policy grid into independent sweep points; each
+    // point builds its own cluster and trace from seeds, so the grid can
+    // run on any DCM_THREADS with byte-identical tables and CSVs.
+    let points: Vec<(usize, RoutingPolicy)> = (0..=pool)
+        .rev()
+        .flat_map(|n_gaudi| POLICIES.into_iter().map(move |p| (n_gaudi, p)))
+        .collect();
+    let reports = dcm_bench::sweep(&points, |&(n_gaudi, policy)| {
         let n_a100 = pool - n_gaudi;
         let aggregate = gaudi_rps * n_gaudi as f64 + a100_rps * n_a100 as f64;
-        let offered = LOAD_FACTOR * aggregate;
-        let mix = format!("{n_gaudi}G+{n_a100}A");
+        run_mix(n_gaudi, n_a100, &model, policy, LOAD_FACTOR * aggregate)
+    });
+    for (mix_idx, chunk) in reports.chunks(POLICIES.len()).enumerate() {
+        let n_gaudi = pool - mix_idx;
+        let mix = format!("{n_gaudi}G+{}A", pool - n_gaudi);
         let mut p99_row = Vec::new();
         let mut tput_row = Vec::new();
-        for policy in POLICIES {
-            let report = run_mix(n_gaudi, n_a100, &model, policy, offered);
+        for (policy, report) in POLICIES.iter().zip(chunk) {
             let s = &report.serving;
             t.push(&[
                 mix.clone(),
@@ -241,8 +250,10 @@ fn main() {
         format!("Dispatch split on the skewed mix ({n_gaudi}G+{n_a100}A)"),
         &["policy", "to Gaudi-2", "to A100", "p99 TTFT s"],
     );
-    for policy in POLICIES {
-        let report = run_mix(n_gaudi, n_a100, &model, policy, LOAD_FACTOR * aggregate);
+    let split_reports = dcm_bench::sweep(&POLICIES, |&policy| {
+        run_mix(n_gaudi, n_a100, &model, policy, LOAD_FACTOR * aggregate)
+    });
+    for (policy, report) in POLICIES.iter().zip(&split_reports) {
         let to_gaudi: usize = report
             .per_replica
             .iter()

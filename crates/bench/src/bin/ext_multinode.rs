@@ -24,14 +24,21 @@ fn main() {
         "16 GB gradient all-reduce time (ms) by cluster size",
         &["nodes", "devices", "HLS-Gaudi-2", "DGX A100"],
     );
-    for nodes in [1usize, 2, 4, 16, 64, 128] {
+    let ar_nodes = [1usize, 2, 4, 16, 64, 128];
+    let ar_rows = dcm_bench::sweep(&ar_nodes, |&nodes| {
         let g = MultiNodeModel::new(gaudi.spec(), nodes);
         let a = MultiNodeModel::new(a100.spec(), nodes);
+        (
+            g.allreduce_time(16 << 30) * 1e3,
+            a.allreduce_time(16 << 30) * 1e3,
+        )
+    });
+    for (&nodes, &(g_ms, a_ms)) in ar_nodes.iter().zip(&ar_rows) {
         ar.push(&[
             nodes.to_string(),
             (nodes * 8).to_string(),
-            format!("{:.0}", g.allreduce_time(16 << 30) * 1e3),
-            format!("{:.0}", a.allreduce_time(16 << 30) * 1e3),
+            format!("{g_ms:.0}"),
+            format!("{a_ms:.0}"),
         ]);
     }
     print!("{}", ar.render());
@@ -50,9 +57,14 @@ fn main() {
         ],
     );
     let g1 = cluster_tokens_per_second(&gaudi, &cfg, 1);
-    for nodes in [1usize, 2, 4, 16, 64] {
-        let g = cluster_tokens_per_second(&gaudi, &cfg, nodes);
-        let a = cluster_tokens_per_second(&a100, &cfg, nodes);
+    let tput_nodes = [1usize, 2, 4, 16, 64];
+    let tput_rows = dcm_bench::sweep(&tput_nodes, |&nodes| {
+        (
+            cluster_tokens_per_second(&gaudi, &cfg, nodes),
+            cluster_tokens_per_second(&a100, &cfg, nodes),
+        )
+    });
+    for (&nodes, &(g, a)) in tput_nodes.iter().zip(&tput_rows) {
         t.push(&[
             nodes.to_string(),
             (nodes * 8).to_string(),

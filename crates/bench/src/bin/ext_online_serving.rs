@@ -150,29 +150,37 @@ fn main() {
                 "mean util",
             ],
         );
-        for &replicas in replica_counts() {
-            for &load in load_factors() {
-                let offered = load * capacity_rps * replicas as f64;
-                let report = run_cluster(
-                    &setup,
-                    &model,
-                    replicas,
-                    RoutingPolicy::JoinShortestQueue,
-                    offered,
-                );
-                let s = &report.serving;
-                t.push(&[
-                    replicas.to_string(),
-                    format!("{load:.2}"),
-                    format!("{offered:.2}"),
-                    format!("{:.2}", s.completed as f64 / s.total_time_s),
-                    format!("{:.0}", s.throughput_tps),
-                    format!("{:.2}", s.p50_ttft_s),
-                    format!("{:.2}", s.p99_ttft_s),
-                    format!("{:.2}", s.p99_queue_delay_s),
-                    format!("{:.2}", report.mean_utilization()),
-                ]);
-            }
+        // Flatten the replicas x load grid into independent sweep points
+        // (each builds its own cluster + trace from seeds), evaluate on
+        // DCM_THREADS workers, assemble the table serially in input order.
+        let points: Vec<(usize, f64)> = replica_counts()
+            .iter()
+            .flat_map(|&replicas| load_factors().iter().map(move |&load| (replicas, load)))
+            .collect();
+        let reports = dcm_bench::sweep(&points, |&(replicas, load)| {
+            let offered = load * capacity_rps * replicas as f64;
+            run_cluster(
+                &setup,
+                &model,
+                replicas,
+                RoutingPolicy::JoinShortestQueue,
+                offered,
+            )
+        });
+        for (&(replicas, load), report) in points.iter().zip(&reports) {
+            let offered = load * capacity_rps * replicas as f64;
+            let s = &report.serving;
+            t.push(&[
+                replicas.to_string(),
+                format!("{load:.2}"),
+                format!("{offered:.2}"),
+                format!("{:.2}", s.completed as f64 / s.total_time_s),
+                format!("{:.0}", s.throughput_tps),
+                format!("{:.2}", s.p50_ttft_s),
+                format!("{:.2}", s.p99_ttft_s),
+                format!("{:.2}", s.p99_queue_delay_s),
+                format!("{:.2}", report.mean_utilization()),
+            ]);
         }
         print!("{}", t.render());
     }
@@ -192,12 +200,15 @@ fn main() {
             "imbalance",
         ],
     );
-    for policy in [
+    let policies = [
         RoutingPolicy::RoundRobin,
         RoutingPolicy::JoinShortestQueue,
         RoutingPolicy::LeastLoadedKv,
-    ] {
-        let report = run_cluster(gaudi, &model, replicas, policy, offered);
+    ];
+    let policy_reports = dcm_bench::sweep(&policies, |&policy| {
+        run_cluster(gaudi, &model, replicas, policy, offered)
+    });
+    for (policy, report) in policies.iter().zip(&policy_reports) {
         t.push(&[
             policy.name().to_owned(),
             format!("{:.2}", report.serving.p50_ttft_s),
@@ -209,20 +220,17 @@ fn main() {
     print!("\n{}", t.render());
 
     // Sanity line for the expected open-system shape at 4 replicas.
-    let low = run_cluster(
-        gaudi,
-        &model,
-        4,
-        RoutingPolicy::JoinShortestQueue,
-        0.25 * capacity_rps * 4.0,
-    );
-    let high = run_cluster(
-        gaudi,
-        &model,
-        4,
-        RoutingPolicy::JoinShortestQueue,
-        2.0 * capacity_rps * 4.0,
-    );
+    let knee_loads = [0.25, 2.0];
+    let knee = dcm_bench::sweep(&knee_loads, |&load| {
+        run_cluster(
+            gaudi,
+            &model,
+            4,
+            RoutingPolicy::JoinShortestQueue,
+            load * capacity_rps * 4.0,
+        )
+    });
+    let (low, high) = (&knee[0], &knee[1]);
     println!(
         "\nsaturation check (Gaudi-2, 4 replicas): p99 TTFT {:.2}s at 0.25x load -> {:.2}s at 2.0x load ({})",
         low.serving.p99_ttft_s,

@@ -32,17 +32,16 @@ fn main() {
         "batch",
         BATCHES.iter().map(|b| b.to_string()).collect(),
     );
-    for &len in &SEQ_LENS {
-        ha.push_row(
-            len.to_string(),
-            BATCHES
-                .iter()
-                .map(|&b| {
-                    let lens = vec![len; b];
-                    base.decode_cost(&lens, 0.0).time() / opt.decode_cost(&lens, 0.0).time()
-                })
-                .collect(),
-        );
+    let cells: Vec<(usize, usize)> = SEQ_LENS
+        .iter()
+        .flat_map(|&len| BATCHES.iter().map(move |&b| (len, b)))
+        .collect();
+    let a_cells = dcm_bench::sweep(&cells, |&(len, b)| {
+        let lens = vec![len; b];
+        base.decode_cost(&lens, 0.0).time() / opt.decode_cost(&lens, 0.0).time()
+    });
+    for (&len, row) in SEQ_LENS.iter().zip(a_cells.chunks(BATCHES.len())) {
+        ha.push_row(len.to_string(), row.to_vec());
     }
     print!("{}", ha.render(2));
     println!("mean speedup {:.2}\n", ha.mean());
@@ -54,11 +53,9 @@ fn main() {
         "Figure 17(b): speedup vs zero-padded index fraction (seq 4K, batch 32)",
         &["padding", "speedup"],
     );
-    let mut pad_speedups = Vec::new();
-    for i in 1..=9 {
-        let f = i as f64 / 10.0;
-        let s = base.decode_cost(&lens, f).time() / opt_t;
-        pad_speedups.push(s);
+    let fractions: Vec<f64> = (1..=9).map(|i| f64::from(i) / 10.0).collect();
+    let pad_speedups = dcm_bench::sweep(&fractions, |&f| base.decode_cost(&lens, f).time() / opt_t);
+    for (&f, &s) in fractions.iter().zip(&pad_speedups) {
         tb.push(&[format!("{:.0}%", f * 100.0), format!("{s:.1}x")]);
     }
     print!("{}", tb.render());
@@ -70,17 +67,12 @@ fn main() {
         "batch",
         BATCHES.iter().map(|b| b.to_string()).collect(),
     );
-    for &len in &SEQ_LENS {
-        hc.push_row(
-            len.to_string(),
-            BATCHES
-                .iter()
-                .map(|&b| {
-                    let lens = vec![len; b];
-                    fused.decode_cost(&lens, 0.0).time() / opt.decode_cost(&lens, 0.0).time()
-                })
-                .collect(),
-        );
+    let c_cells = dcm_bench::sweep(&cells, |&(len, b)| {
+        let lens = vec![len; b];
+        fused.decode_cost(&lens, 0.0).time() / opt.decode_cost(&lens, 0.0).time()
+    });
+    for (&len, row) in SEQ_LENS.iter().zip(c_cells.chunks(BATCHES.len())) {
+        hc.push_row(len.to_string(), row.to_vec());
     }
     print!("{}", hc.render(2));
 
@@ -100,14 +92,18 @@ fn main() {
             "A TPOT ms",
         ],
     );
-    let mut ratios = Vec::new();
-    for &mb in &[2usize, 4, 8, 16, 32] {
+    let max_batches = [2usize, 4, 8, 16, 32];
+    let serving = dcm_bench::sweep(&max_batches, |&mb| {
         let g = ServingEngine::new(&gaudi, model.clone(), 1, PagedBackend::GaudiOpt, mb)
             .run(&trace)
             .expect("trace fits");
         let a = ServingEngine::new(&a100, model.clone(), 1, PagedBackend::A100Fused, mb)
             .run(&trace)
             .expect("trace fits");
+        (g, a)
+    });
+    let mut ratios = Vec::new();
+    for (&mb, (g, a)) in max_batches.iter().zip(&serving) {
         ratios.push(g.throughput_tps / a.throughput_tps);
         td.push(&[
             mb.to_string(),

@@ -1,0 +1,331 @@
+//! Simulator performance baseline: `results/BENCH_dcm.json`.
+//!
+//! Every other binary in this crate regenerates a *paper* artifact; this
+//! one measures the simulator itself, establishing the repo's perf
+//! trajectory so future PRs can demonstrate wins and catch regressions:
+//!
+//! 1. **Decode-step costing** — ns/call for the O(batch) slice path
+//!    (`decode_cost`, which rebuilds the aggregates every call) vs the
+//!    O(1) incremental path (`decode_cost_from_stats`) at several batch
+//!    sizes. The engine hot loop uses the latter; the ratio is the
+//!    per-step win of the incremental-statistics rewrite.
+//! 2. **Engine throughput** — simulated output tokens and completed
+//!    requests per wall-second for a single-engine offline run and a
+//!    4-replica cluster run.
+//! 3. **Sweep parallelism** — wall-clock for an 8-point cluster sweep
+//!    evaluated serially (`threads = 1`) vs on the ambient
+//!    [`dcm_core::par::thread_count`]. On a multi-core host the ratio
+//!    approaches the core count; `host_parallelism` is recorded so a
+//!    1-core CI box's ~1.0x is read as environment, not regression.
+//!
+//! Timings use wall-clock medians of several repetitions; the simulated
+//! *results* are deterministic, only the timings vary run to run.
+//! `DCM_SMOKE=1` shrinks iteration counts for CI.
+
+use dcm_vllm::attention::{BatchStats, PagedAttention, PagedBackend};
+use dcm_vllm::cluster::{Cluster, RoutingPolicy};
+use dcm_vllm::dataset::{ArrivalProcess, SyntheticDataset};
+use dcm_vllm::engine::ServingEngine;
+use dcm_workloads::llama::LlamaConfig;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+const TRACE_SEED: u64 = 2026;
+const MAX_DECODE_BATCH: usize = 16;
+
+fn costing_iters() -> usize {
+    if dcm_bench::smoke() {
+        2_000
+    } else {
+        20_000
+    }
+}
+
+fn trace_len() -> usize {
+    if dcm_bench::smoke() {
+        8
+    } else {
+        64
+    }
+}
+
+fn timing_reps() -> usize {
+    if dcm_bench::smoke() {
+        3
+    } else {
+        5
+    }
+}
+
+/// Median wall-clock seconds of `reps` runs of `f` (which returns a
+/// value that must not be optimized away; the caller keeps the last).
+fn median_time_s<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        times.push(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    times.sort_by(f64::total_cmp);
+    (times[times.len() / 2], last.expect("reps >= 1"))
+}
+
+/// One JSON object line `"key": {...}` per costing batch size.
+struct CostingRow {
+    batch: usize,
+    slice_ns: f64,
+    stats_ns: f64,
+}
+
+fn bench_costing(attention: &PagedAttention) -> Vec<CostingRow> {
+    let iters = costing_iters();
+    let mut rows = Vec::new();
+    for &batch in &[8usize, 64, 256] {
+        // A mildly skewed batch so the block histogram has depth.
+        let lens: Vec<usize> = (0..batch).map(|i| 1024 + 97 * (i % 11)).collect();
+        let stats = BatchStats::from_lens(&lens, stats_block_tokens(attention));
+        let (slice_s, slice_sum) = median_time_s(timing_reps(), || {
+            let mut acc = 0.0_f64;
+            for _ in 0..iters {
+                acc += attention.decode_cost(&lens, 0.0).time();
+            }
+            acc
+        });
+        let (stats_s, stats_sum) = median_time_s(timing_reps(), || {
+            let mut acc = 0.0_f64;
+            for _ in 0..iters {
+                acc += attention.decode_cost_from_stats(&stats, 0.0).time();
+            }
+            acc
+        });
+        assert_eq!(
+            slice_sum.to_bits(),
+            stats_sum.to_bits(),
+            "slice and stats paths must price identically"
+        );
+        rows.push(CostingRow {
+            batch,
+            slice_ns: slice_s / iters as f64 * 1e9,
+            stats_ns: stats_s / iters as f64 * 1e9,
+        });
+    }
+    rows
+}
+
+/// The engine asserts stats/model block-size agreement; mirror the
+/// default here (the bench constructs its own accumulator).
+fn stats_block_tokens(attention: &PagedAttention) -> usize {
+    attention.batch_stats().block_tokens()
+}
+
+struct EngineRun {
+    wall_s: f64,
+    sim_tokens: usize,
+    completed: usize,
+}
+
+fn bench_engine_offline() -> EngineRun {
+    let gaudi = dcm_bench::device("gaudi2");
+    let model = LlamaConfig::llama31_8b();
+    let trace = SyntheticDataset::dynamic_sonnet(trace_len(), TRACE_SEED);
+    let (wall_s, report) = median_time_s(timing_reps(), || {
+        ServingEngine::new(
+            &gaudi,
+            model.clone(),
+            1,
+            PagedBackend::GaudiOpt,
+            MAX_DECODE_BATCH,
+        )
+        .run(&trace)
+        .expect("offline trace fits")
+    });
+    EngineRun {
+        wall_s,
+        sim_tokens: report.total_output_tokens,
+        completed: report.completed,
+    }
+}
+
+fn cluster_point(rate_scale: f64) -> dcm_vllm::cluster::ClusterReport {
+    let gaudi = dcm_bench::device("gaudi2");
+    let model = LlamaConfig::llama31_8b();
+    let replicas = 4;
+    let trace = SyntheticDataset::dynamic_sonnet_online(
+        trace_len() * replicas,
+        TRACE_SEED,
+        &ArrivalProcess::Poisson {
+            rate_rps: rate_scale,
+        },
+    );
+    Cluster::homogeneous(
+        &gaudi,
+        &model,
+        1,
+        PagedBackend::GaudiOpt,
+        MAX_DECODE_BATCH,
+        replicas,
+        RoutingPolicy::JoinShortestQueue,
+    )
+    .run(&trace)
+    .expect("online trace fits")
+}
+
+fn bench_cluster() -> EngineRun {
+    let (wall_s, report) = median_time_s(timing_reps(), || cluster_point(2.0));
+    EngineRun {
+        wall_s,
+        sim_tokens: report.serving.total_output_tokens,
+        completed: report.serving.completed,
+    }
+}
+
+struct SweepTiming {
+    points: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    threads: usize,
+}
+
+fn bench_sweep() -> SweepTiming {
+    let points: Vec<f64> = (1..=8).map(|i| 0.5 * f64::from(i)).collect();
+    let (serial_s, serial_reports) = median_time_s(timing_reps(), || {
+        dcm_core::par::par_map(&points, 1, |&rate| cluster_point(rate))
+    });
+    let threads = dcm_core::par::thread_count();
+    let (parallel_s, parallel_reports) = median_time_s(timing_reps(), || {
+        dcm_core::par::par_map(&points, threads, |&rate| cluster_point(rate))
+    });
+    for (s, p) in serial_reports.iter().zip(&parallel_reports) {
+        assert_eq!(
+            s.serving.throughput_tps.to_bits(),
+            p.serving.throughput_tps.to_bits(),
+            "sweep results must be bit-identical at any thread count"
+        );
+    }
+    SweepTiming {
+        points: points.len(),
+        serial_s,
+        parallel_s,
+        threads,
+    }
+}
+
+fn safe_div(a: f64, b: f64) -> f64 {
+    if b > 0.0 {
+        a / b
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    dcm_bench::banner(
+        "Perf baseline: simulator throughput and sweep parallelism",
+        "not a paper artifact — the repo's own perf trajectory (results/BENCH_dcm.json)",
+    );
+    let gaudi = dcm_bench::device("gaudi2");
+    let model = LlamaConfig::llama31_8b();
+    let attention = PagedAttention::new(&gaudi, PagedBackend::GaudiOpt, &model, 1);
+
+    let costing = bench_costing(&attention);
+    println!(
+        "\ndecode-step costing (ns/call, median of {} reps):",
+        timing_reps()
+    );
+    for r in &costing {
+        println!(
+            "  batch {:>4}: slice {:>9.1} ns  stats {:>9.1} ns  speedup {:.1}x",
+            r.batch,
+            r.slice_ns,
+            r.stats_ns,
+            safe_div(r.slice_ns, r.stats_ns)
+        );
+    }
+
+    let offline = bench_engine_offline();
+    println!(
+        "\noffline engine: {} sim tokens, {} requests in {:.3} s wall \
+         ({:.0} sim tokens/wall-s, {:.1} req/wall-s)",
+        offline.sim_tokens,
+        offline.completed,
+        offline.wall_s,
+        safe_div(offline.sim_tokens as f64, offline.wall_s),
+        safe_div(offline.completed as f64, offline.wall_s),
+    );
+
+    let cluster = bench_cluster();
+    println!(
+        "4-replica cluster: {} sim tokens, {} requests in {:.3} s wall \
+         ({:.0} sim tokens/wall-s, {:.1} req/wall-s)",
+        cluster.sim_tokens,
+        cluster.completed,
+        cluster.wall_s,
+        safe_div(cluster.sim_tokens as f64, cluster.wall_s),
+        safe_div(cluster.completed as f64, cluster.wall_s),
+    );
+
+    let sweep = bench_sweep();
+    println!(
+        "{}-point cluster sweep: serial {:.3} s, {} threads {:.3} s ({:.2}x)",
+        sweep.points,
+        sweep.serial_s,
+        sweep.threads,
+        sweep.parallel_s,
+        safe_div(sweep.serial_s, sweep.parallel_s),
+    );
+
+    let host_parallelism =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // Hand-rolled JSON (the offline workspace has no serde_json); every
+    // value below is a finite number or small literal, so no escaping is
+    // needed.
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema\": \"dcm-bench-v1\",");
+    let _ = writeln!(j, "  \"smoke\": {},", dcm_bench::smoke());
+    let _ = writeln!(j, "  \"host_parallelism\": {host_parallelism},");
+    let _ = writeln!(j, "  \"dcm_threads\": {},", sweep.threads);
+    let _ = writeln!(j, "  \"costing_iters\": {},", costing_iters());
+    j.push_str("  \"decode_costing\": [\n");
+    for (i, r) in costing.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"batch\": {}, \"slice_ns_per_call\": {:.1}, \"stats_ns_per_call\": {:.1}, \"speedup\": {:.2}}}{}",
+            r.batch,
+            r.slice_ns,
+            r.stats_ns,
+            safe_div(r.slice_ns, r.stats_ns),
+            if i + 1 < costing.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    let _ = writeln!(
+        j,
+        "  \"offline_engine\": {{\"wall_s\": {:.6}, \"sim_tokens_per_wall_s\": {:.1}, \"requests_per_wall_s\": {:.2}}},",
+        offline.wall_s,
+        safe_div(offline.sim_tokens as f64, offline.wall_s),
+        safe_div(offline.completed as f64, offline.wall_s),
+    );
+    let _ = writeln!(
+        j,
+        "  \"cluster_4_replicas\": {{\"wall_s\": {:.6}, \"sim_tokens_per_wall_s\": {:.1}, \"requests_per_wall_s\": {:.2}}},",
+        cluster.wall_s,
+        safe_div(cluster.sim_tokens as f64, cluster.wall_s),
+        safe_div(cluster.completed as f64, cluster.wall_s),
+    );
+    let _ = writeln!(
+        j,
+        "  \"sweep\": {{\"points\": {}, \"serial_wall_s\": {:.6}, \"parallel_wall_s\": {:.6}, \"threads\": {}, \"speedup\": {:.2}}}",
+        sweep.points,
+        sweep.serial_s,
+        sweep.parallel_s,
+        sweep.threads,
+        safe_div(sweep.serial_s, sweep.parallel_s),
+    );
+    j.push_str("}\n");
+    dcm_bench::write_artifact(Path::new("results/BENCH_dcm.json"), &j);
+}

@@ -79,6 +79,23 @@ pub fn write_artifact(path: &Path, contents: &str) {
     println!("wrote {}", path.display());
 }
 
+/// Evaluate a sweep's points in parallel, preserving input order.
+///
+/// Thin wrapper over [`dcm_core::par::par_map`] at the ambient
+/// [`dcm_core::par::thread_count`] (`DCM_THREADS`; `1` forces the
+/// historical serial path). Every sweep point must be a pure seeded
+/// function of its descriptor — construct engines *inside* the closure —
+/// so the output is byte-identical at any thread count. Assemble tables,
+/// heatmaps and CSVs from the returned `Vec` serially, in input order.
+pub fn sweep<T, R, F>(points: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    dcm_core::par::par_map(points, dcm_core::par::thread_count(), f)
+}
+
 /// Print a banner identifying the regenerated artifact.
 pub fn banner(artifact: &str, paper_claim: &str) {
     println!("==============================================================");

@@ -25,6 +25,9 @@
 //! * [`sim`] — the deterministic discrete-event core (total-order
 //!   [`sim::EventQueue`], monotone [`sim::SimClock`]) every serving event
 //!   loop is built on.
+//! * [`par`] — the deterministic parallel sweep harness
+//!   ([`par::par_map`]): order-preserving, panic-propagating fan-out of
+//!   independent simulation points across OS threads (`DCM_THREADS`).
 //! * [`trace`] — structured span tracing ([`trace::TraceRecorder`]) with
 //!   Chrome `trace_event` JSON and per-request CSV export.
 //!
@@ -47,6 +50,7 @@ pub mod energy;
 pub mod error;
 pub mod linalg;
 pub mod metrics;
+pub mod par;
 pub mod rng;
 pub mod roofline;
 pub mod sim;

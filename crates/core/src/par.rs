@@ -1,0 +1,170 @@
+//! Deterministic parallel map for sweep harnesses.
+//!
+//! The figure/extension binaries evaluate grids of independent simulation
+//! points (offered load × replica count, device mix × routing policy, …).
+//! Every point is a *pure seeded function* — each one constructs its own
+//! engines, traces and fault plans from explicit seeds, and the
+//! simulation core never consults an ambient clock or RNG — so the points
+//! can be evaluated on any number of OS threads and reassembled in input
+//! order with byte-identical results. This module provides exactly that:
+//!
+//! * [`par_map`] — map a function over a slice on `threads` worker
+//!   threads, **preserving input order** in the returned `Vec` and
+//!   propagating worker panics to the caller.
+//! * [`thread_count`] — the sweep-layer thread budget: the `DCM_THREADS`
+//!   environment variable if set (`DCM_THREADS=1` forces the serial
+//!   path), otherwise [`std::thread::available_parallelism`].
+//!
+//! Determinism contract: `par_map(items, t, f)` returns the same bytes as
+//! `items.iter().map(f).collect()` for every `t`, provided `f` is a pure
+//! function of its argument. Threads only decide *when* a point is
+//! evaluated, never *what* it evaluates or where its result lands. The
+//! simulation core itself stays single-threaded — parallelism lives one
+//! layer up, across independent simulations — so all the bit-exactness
+//! pins (`tests/tests/golden_serving.rs`) hold at any thread count.
+//!
+//! Std-only by design: the workspace builds offline, so this uses
+//! [`std::thread::scope`] and an atomic work-stealing index instead of a
+//! rayon-style dependency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Parse a `DCM_THREADS`-style value: a positive integer, surrounding
+/// whitespace tolerated. Returns `None` for anything else (zero,
+/// negatives, garbage) so the caller can fail loudly.
+#[must_use]
+pub fn parse_threads(value: &str) -> Option<usize> {
+    value.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
+/// The sweep-layer thread budget: `DCM_THREADS` if set (must be a
+/// positive integer; `1` forces the serial path), otherwise the host's
+/// available parallelism (falling back to 1 if that cannot be queried).
+///
+/// # Panics
+/// Panics if `DCM_THREADS` is set to something other than a positive
+/// integer — a silently ignored typo would quietly serialize a sweep.
+#[must_use]
+pub fn thread_count() -> usize {
+    match std::env::var("DCM_THREADS") {
+        Ok(v) => parse_threads(&v)
+            .unwrap_or_else(|| panic!("DCM_THREADS must be a positive integer, got {v:?}")),
+        Err(_) => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    }
+}
+
+/// Map `f` over `items` on up to `threads` worker threads, returning the
+/// results **in input order**.
+///
+/// With `threads <= 1` (or fewer than two items) this is exactly
+/// `items.iter().map(f).collect()` on the calling thread — no threads
+/// are spawned, so `DCM_THREADS=1` reproduces the historical serial
+/// path. Otherwise `min(threads, items.len())` scoped threads claim
+/// items from a shared atomic counter and write each result into its
+/// input slot; the claim order is racy, the output order is not.
+///
+/// # Panics
+/// Propagates a panic from `f` (after all worker threads have stopped),
+/// like [`std::thread::scope`] does.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("slot lock poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every claimed slot is filled before scope exit")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..97).collect();
+        for threads in [1, 2, 3, 8, 200] {
+            let got = par_map(&items, threads, |&i| i * i);
+            let want: Vec<usize> = items.iter().map(|&i| i * i).collect();
+            assert_eq!(got, want, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, 8, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 8, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_threads_degrades_to_serial() {
+        let items = [1u32, 2, 3];
+        assert_eq!(par_map(&items, 0, |&x| x * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..32).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(&items, 4, |&i| {
+                assert!(i != 17, "boom at 17");
+                i
+            })
+        }));
+        assert!(caught.is_err(), "panic in a worker must reach the caller");
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("1"), Some(1));
+        assert_eq!(parse_threads("8"), Some(8));
+        assert_eq!(parse_threads(" 4 "), Some(4));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("two"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn float_results_are_bit_identical_across_thread_counts() {
+        // The property the sweep binaries lean on: same bits at any
+        // thread count, because threads never change what is computed.
+        let items: Vec<u64> = (1..=64).collect();
+        let f = |&i: &u64| (i as f64).sqrt().ln_1p() * 1e-3;
+        let serial: Vec<u64> = items.iter().map(|i| f(i).to_bits()).collect();
+        for threads in [2, 8] {
+            let par: Vec<u64> = par_map(&items, threads, f)
+                .into_iter()
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+}

@@ -22,6 +22,7 @@ use dcm_mem::hbm::{AccessPattern, HbmModel};
 use dcm_mme::GemmShape;
 use dcm_workloads::llama::LlamaConfig;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Default KV-cache block size in tokens (the Gaudi vLLM fork default).
 pub const DEFAULT_BLOCK_TOKENS: usize = 128;
@@ -51,6 +52,177 @@ pub enum PagedBackend {
     /// binary to quantify how much of the remaining 2.2x kernel gap the
     /// missing interface costs.
     GaudiFusedHypothetical,
+}
+
+/// Incrementally maintained aggregates of a decode batch's sequence
+/// lengths — the *complete* input of the PagedAttention cost model.
+///
+/// [`PagedAttention::decode_cost`] never looks at individual lengths:
+/// it consumes only the batch size, the length sum (for the mean), the
+/// effectual block count (Σ per-sequence blocks) and the widest
+/// sequence's block count (for the padded table). This accumulator
+/// maintains exactly those four aggregates under the three mutations a
+/// serving engine performs — a sequence joins the batch ([`add`]), grows
+/// by one token ([`grow`]), or leaves ([`remove`]) — in O(1) amortized
+/// time per mutation (`max` via a block-count multiset, so removals of
+/// the current maximum are O(log distinct-block-counts), with the number
+/// of distinct counts bounded by max-seq-len / block-size).
+///
+/// This is the hot-path costing contract (DESIGN.md §3.6): a decode step
+/// over a batch of N sequences prices in O(1) instead of O(N), which is
+/// what lets the engine simulate large batches at fixed per-step cost.
+/// [`PagedAttention::decode_cost_from_stats`] is bit-identical to
+/// [`PagedAttention::decode_cost`] on the equivalent length slice
+/// (property-pinned in `tests/tests/prop_batch_stats.rs`).
+///
+/// [`add`]: BatchStats::add
+/// [`grow`]: BatchStats::grow
+/// [`remove`]: BatchStats::remove
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    block_tokens: usize,
+    count: usize,
+    sum_lens: usize,
+    sum_blocks: usize,
+    /// Multiset of per-sequence block counts: count -> sequences at it.
+    /// `last_key_value` is the max-blocks aggregate.
+    block_hist: BTreeMap<usize, usize>,
+}
+
+impl BatchStats {
+    /// An empty batch over KV blocks of `block_tokens` tokens.
+    ///
+    /// # Panics
+    /// Panics if `block_tokens` is zero.
+    #[must_use]
+    pub fn new(block_tokens: usize) -> Self {
+        assert!(block_tokens > 0, "block_tokens must be positive");
+        BatchStats {
+            block_tokens,
+            count: 0,
+            sum_lens: 0,
+            sum_blocks: 0,
+            block_hist: BTreeMap::new(),
+        }
+    }
+
+    /// Build the aggregates of `seq_lens` from scratch — the reference
+    /// the incremental path is property-tested against.
+    #[must_use]
+    pub fn from_lens(seq_lens: &[usize], block_tokens: usize) -> Self {
+        let mut s = BatchStats::new(block_tokens);
+        for &l in seq_lens {
+            s.add(l);
+        }
+        s
+    }
+
+    /// KV blocks held by a sequence of `len` cached tokens (a zero-length
+    /// sequence still pins one block, matching the cost model).
+    fn blocks_for(&self, len: usize) -> usize {
+        len.max(1).div_ceil(self.block_tokens)
+    }
+
+    /// A sequence of `len` cached tokens joins the batch.
+    pub fn add(&mut self, len: usize) {
+        let b = self.blocks_for(len);
+        self.count += 1;
+        self.sum_lens += len;
+        self.sum_blocks += b;
+        *self.block_hist.entry(b).or_insert(0) += 1;
+    }
+
+    /// A sequence of `len` cached tokens leaves the batch. `len` must be
+    /// the length the batch currently accounts for it (i.e. as last
+    /// passed to [`add`](Self::add) / advanced by [`grow`](Self::grow)).
+    ///
+    /// # Panics
+    /// Panics if no tracked sequence has `len`'s block count — a
+    /// desynchronized caller would silently corrupt every later cost.
+    pub fn remove(&mut self, len: usize) {
+        let b = self.blocks_for(len);
+        let slot = self
+            .block_hist
+            .get_mut(&b)
+            .unwrap_or_else(|| panic!("BatchStats desync: no sequence at {b} blocks"));
+        *slot -= 1;
+        if *slot == 0 {
+            self.block_hist.remove(&b);
+        }
+        self.count -= 1;
+        self.sum_lens -= len;
+        self.sum_blocks -= b;
+    }
+
+    /// A tracked sequence of `len` cached tokens grows to `len + 1`
+    /// (one decoded token appended). Equivalent to
+    /// `remove(len); add(len + 1)` but touches the multiset only when
+    /// the token crosses a block boundary.
+    ///
+    /// # Panics
+    /// Panics if no tracked sequence has `len`'s block count.
+    pub fn grow(&mut self, len: usize) {
+        self.sum_lens += 1;
+        let old_b = self.blocks_for(len);
+        let new_b = self.blocks_for(len + 1);
+        if new_b != old_b {
+            let slot = self
+                .block_hist
+                .get_mut(&old_b)
+                .unwrap_or_else(|| panic!("BatchStats desync: no sequence at {old_b} blocks"));
+            *slot -= 1;
+            if *slot == 0 {
+                self.block_hist.remove(&old_b);
+            }
+            *self.block_hist.entry(new_b).or_insert(0) += 1;
+            self.sum_blocks += new_b - old_b;
+        }
+    }
+
+    /// Forget every tracked sequence (the batch emptied at once, e.g. a
+    /// replica crash draining its work). Keeps the block size.
+    pub fn clear(&mut self) {
+        self.count = 0;
+        self.sum_lens = 0;
+        self.sum_blocks = 0;
+        self.block_hist.clear();
+    }
+
+    /// KV block size in tokens these aggregates were computed under.
+    #[must_use]
+    pub fn block_tokens(&self) -> usize {
+        self.block_tokens
+    }
+
+    /// Sequences in the batch.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the batch is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of cached-token lengths.
+    #[must_use]
+    pub fn sum_lens(&self) -> usize {
+        self.sum_lens
+    }
+
+    /// Total effectual KV blocks (Σ per-sequence block counts).
+    #[must_use]
+    pub fn sum_blocks(&self) -> usize {
+        self.sum_blocks
+    }
+
+    /// Block count of the widest sequence (0 for an empty batch).
+    #[must_use]
+    pub fn max_blocks(&self) -> usize {
+        self.block_hist.last_key_value().map_or(0, |(b, _)| *b)
+    }
 }
 
 /// PagedAttention timing model bound to a device and model.
@@ -126,16 +298,42 @@ impl PagedAttention {
     #[must_use]
     pub fn decode_cost(&self, seq_lens: &[usize], extra_padding: f64) -> OpCost {
         assert!(!seq_lens.is_empty(), "need at least one sequence");
+        self.decode_cost_from_stats(
+            &BatchStats::from_lens(seq_lens, self.block_tokens),
+            extra_padding,
+        )
+    }
+
+    /// An empty [`BatchStats`] accumulator with this model's KV block
+    /// size, ready for the engine to maintain incrementally.
+    #[must_use]
+    pub fn batch_stats(&self) -> BatchStats {
+        BatchStats::new(self.block_tokens)
+    }
+
+    /// [`decode_cost`](Self::decode_cost) from incrementally maintained
+    /// batch aggregates — O(1) in the batch size. Bit-identical to the
+    /// slice path for equivalent inputs: the cost model consumes *only*
+    /// the aggregates [`BatchStats`] carries.
+    ///
+    /// # Panics
+    /// Panics if `stats` is empty, was built under a different KV block
+    /// size, or `extra_padding` is out of range.
+    #[must_use]
+    pub fn decode_cost_from_stats(&self, stats: &BatchStats, extra_padding: f64) -> OpCost {
+        assert!(!stats.is_empty(), "need at least one sequence");
+        assert!(
+            stats.block_tokens() == self.block_tokens,
+            "BatchStats block size {} != model block size {}",
+            stats.block_tokens(),
+            self.block_tokens
+        );
         assert!((0.0..1.0).contains(&extra_padding), "padding out of range");
-        let batch = seq_lens.len();
-        let blocks: Vec<usize> = seq_lens
-            .iter()
-            .map(|&l| l.max(1).div_ceil(self.block_tokens))
-            .collect();
-        let effectual: usize = blocks.iter().sum();
-        let natural_padded = batch * blocks.iter().max().copied().unwrap_or(1);
+        let batch = stats.count();
+        let effectual = stats.sum_blocks();
+        let natural_padded = batch * stats.max_blocks();
         let padded = ((effectual as f64 / (1.0 - extra_padding)) as usize).max(natural_padded);
-        let mean_len = seq_lens.iter().sum::<usize>() / batch;
+        let mean_len = stats.sum_lens() / batch;
         let padded_len = (padded as f64 / batch as f64 * self.block_tokens as f64) as usize;
 
         let per_layer = match self.backend {
@@ -411,5 +609,82 @@ mod tests {
     fn bad_padding_rejected() {
         let opt = setup(PagedBackend::GaudiOpt);
         let _ = opt.decode_cost(&[128], 1.0);
+    }
+
+    #[test]
+    fn batch_stats_track_slice_aggregates() {
+        let lens = [0usize, 1, 127, 128, 129, 4096, 700];
+        let s = BatchStats::from_lens(&lens, 128);
+        assert_eq!(s.count(), lens.len());
+        assert_eq!(s.sum_lens(), lens.iter().sum::<usize>());
+        assert_eq!(
+            s.sum_blocks(),
+            lens.iter().map(|&l| l.max(1).div_ceil(128)).sum::<usize>()
+        );
+        assert_eq!(s.max_blocks(), 32); // 4096 / 128
+    }
+
+    #[test]
+    fn batch_stats_grow_matches_remove_then_add() {
+        let mut grown = BatchStats::from_lens(&[127, 128, 300], 128);
+        let mut replaced = grown.clone();
+        grown.grow(127); // crosses the 1-block boundary
+        grown.grow(300); // stays inside block 3
+        replaced.remove(127);
+        replaced.add(128);
+        replaced.remove(300);
+        replaced.add(301);
+        assert_eq!(grown, replaced);
+    }
+
+    #[test]
+    fn batch_stats_remove_restores_the_smaller_batch() {
+        let mut s = BatchStats::from_lens(&[64, 4096, 64], 128);
+        s.remove(4096);
+        assert_eq!(s, BatchStats::from_lens(&[64, 64], 128));
+        assert_eq!(s.max_blocks(), 1);
+    }
+
+    #[test]
+    fn decode_cost_from_stats_is_bit_identical_to_slice_path() {
+        let lens = vec![17usize, 900, 2048, 2048, 4095, 1, 333];
+        for backend in [
+            PagedBackend::GaudiBase,
+            PagedBackend::GaudiOpt,
+            PagedBackend::A100Fused,
+        ] {
+            let pa = setup(backend);
+            let stats = BatchStats::from_lens(&lens, 128);
+            for padding in [0.0, 0.1, 0.9] {
+                let a = pa.decode_cost(&lens, padding);
+                let b = pa.decode_cost_from_stats(&stats, padding);
+                assert_eq!(
+                    a.time().to_bits(),
+                    b.time().to_bits(),
+                    "{backend:?} {padding}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_stats_rejected() {
+        let opt = setup(PagedBackend::GaudiOpt);
+        let _ = opt.decode_cost_from_stats(&opt.batch_stats(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn mismatched_block_size_rejected() {
+        let opt = setup(PagedBackend::GaudiOpt);
+        let _ = opt.decode_cost_from_stats(&BatchStats::from_lens(&[64], 16), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "desync")]
+    fn desynchronized_remove_panics() {
+        let mut s = BatchStats::from_lens(&[64], 128);
+        s.remove(4096);
     }
 }

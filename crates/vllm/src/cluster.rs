@@ -494,7 +494,7 @@ impl Cluster {
             sims: self
                 .replicas
                 .iter()
-                .map(ServingEngine::make_sim)
+                .map(|e| e.make_sim(requests.len()))
                 .collect::<Result<_>>()?,
             alive: vec![true; n],
             dispatched: vec![0usize; n],
@@ -520,8 +520,10 @@ impl Cluster {
         // total order then reproduces the old hand-merged rules — faults
         // due at or before an arrival apply first, simultaneous arrivals
         // keep trace order — by construction.
-        let mut events: EventQueue<ClusterEvent> = EventQueue::new();
-        for ev in plan.timeline() {
+        let timeline = plan.timeline();
+        let mut events: EventQueue<ClusterEvent> =
+            EventQueue::with_capacity(timeline.len() + requests.len());
+        for ev in timeline {
             events.push(
                 ev.t,
                 u32::from(ev.kind.class_rank()),
@@ -532,6 +534,12 @@ impl Cluster {
             events.push(r.arrival_s, PRIO_ARRIVAL, ClusterEvent::Arrival(*r));
         }
 
+        // Hot loop: nothing here may allocate per event. Routing and
+        // advance_live are iterator-based, trace instants are no-ops when
+        // disabled, and the per-replica decode loops reuse engine-side
+        // scratch buffers; the only allocating path is the crash harvest
+        // (drain_unfinished), which runs once per fault edge, not per
+        // arrival.
         while let Some(ev) = events.pop() {
             match ev.payload {
                 ClusterEvent::Fault(kind) => self.apply_fault(&mut st, ev.time, kind, cfg)?,

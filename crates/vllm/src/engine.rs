@@ -30,7 +30,7 @@
 //! TPOT (per-token decode latency) — extended with exact p50/p95/p99 tail
 //! percentiles and queueing delay for the online experiments.
 
-use crate::attention::{PagedAttention, PagedBackend, DEFAULT_BLOCK_TOKENS};
+use crate::attention::{BatchStats, PagedAttention, PagedBackend, DEFAULT_BLOCK_TOKENS};
 use crate::dataset::Request;
 use crate::fault::SloSpec;
 use crate::kv_cache::PagedKvCache;
@@ -162,6 +162,17 @@ impl WorkItem {
 /// router can hold many of these and advance them on a shared clock.
 pub(crate) struct SimState {
     kv: PagedKvCache,
+    /// Incrementally maintained aggregates of the active batch's KV
+    /// token counts — mirrors `kv.tokens_of` for every id in `active`
+    /// (including the failed-append inflation the cache exhibits), so a
+    /// decode step prices in O(1) via
+    /// [`PagedAttention::decode_cost_from_stats`] instead of re-walking
+    /// the batch. Invariant pinned by `tests/tests/prop_batch_stats.rs`.
+    stats: BatchStats,
+    /// Reusable id buffer for the decode loop — avoids a per-step `Vec`
+    /// allocation (the ids must be snapshotted: preemption mutates
+    /// `active` mid-iteration).
+    scratch_ids: Vec<u64>,
     /// Requests whose arrival time the clock has not reached. The event
     /// queue's `(time, priority, seq)` total order makes simultaneous
     /// arrivals pop in enqueue order — the same behaviour the pre-refactor
@@ -289,6 +300,8 @@ impl SimState {
             self.kv.release(id)?;
             out.push(self.meta[&id]);
         }
+        self.stats.clear(); // the active batch is gone wholesale
+
         for r in &out {
             self.meta.remove(&r.id);
         }
@@ -484,11 +497,14 @@ impl ServingEngine {
     }
 
     /// Start a fresh simulation: size the KV cache and reset all state.
+    /// `expected_requests` pre-sizes the arrival queue and request-meta
+    /// map (large sweeps enqueue the whole trace up front; repeated heap
+    /// growth there is pure waste).
     ///
     /// # Errors
     /// Returns [`DcmError::ResourceExhausted`] if the KV cache cannot hold
     /// a single block.
-    pub(crate) fn make_sim(&self) -> Result<SimState> {
+    pub(crate) fn make_sim(&self, expected_requests: usize) -> Result<SimState> {
         let weights = self.model.param_count() * DType::Bf16.size_bytes() as f64 / self.tp as f64;
         let hbm = self.device.spec().memory.hbm_capacity_bytes;
         let reserved = weights as u64 + (hbm as f64 * ACTIVATION_HEADROOM) as u64;
@@ -503,10 +519,12 @@ impl ServingEngine {
         };
         Ok(SimState {
             kv,
-            arrivals: EventQueue::new(),
+            stats: self.attention.batch_stats(),
+            scratch_ids: Vec::new(),
+            arrivals: EventQueue::with_capacity(expected_requests),
             ready: VecDeque::new(),
             active: BTreeMap::new(),
-            meta: HashMap::new(),
+            meta: HashMap::with_capacity(expected_requests),
             clock: SimClock::new(),
             busy_s: 0.0,
             time_scale: 1.0,
@@ -594,6 +612,8 @@ impl ServingEngine {
                     ],
                 );
             } else {
+                sim.stats
+                    .add(sim.kv.tokens_of(r.id).expect("just admitted"));
                 sim.active.insert(r.id, seq);
             }
             return Ok(true);
@@ -610,15 +630,16 @@ impl ServingEngine {
             }
             return Ok(false); // idle: awaiting future arrivals (or drained)
         }
-        // One decode step for all active sequences.
+        // One decode step for all active sequences, priced from the
+        // incrementally maintained batch aggregates — no O(batch) length
+        // re-walk, no per-step allocation.
         let batch = sim.active.len();
         sim.peak_batch = sim.peak_batch.max(batch);
-        let lens: Vec<usize> = sim
-            .active
-            .keys()
-            .map(|id| sim.kv.tokens_of(*id).expect("active implies live"))
-            .collect();
-        let attn = self.attention.decode_cost(&lens, 0.0).time();
+        debug_assert_eq!(sim.stats.count(), batch, "stats desynced from active set");
+        let attn = self
+            .attention
+            .decode_cost_from_stats(&sim.stats, 0.0)
+            .time();
         let step = (self.nonattn_step_time(batch) + attn) * sim.time_scale;
         let t0 = sim.clock.now();
         sim.clock.advance_by(step);
@@ -631,12 +652,24 @@ impl ServingEngine {
             None,
             &[("batch", batch as f64)],
         );
-        let ids: Vec<u64> = sim.active.keys().copied().collect();
-        for id in ids {
+        let mut ids = std::mem::take(&mut sim.scratch_ids);
+        ids.clear();
+        ids.extend(sim.active.keys().copied());
+        for &id in &ids {
             if !sim.active.contains_key(&id) {
                 continue; // preempted earlier in this step
             }
-            while sim.kv.append_token(id).is_err() {
+            // `known` shadows the cache's token count for `id` so the
+            // batch stats can be kept in lockstep: the cache counts a
+            // token per append *attempt*, even a failed one.
+            let mut known = sim.kv.tokens_of(id).expect("active implies live");
+            loop {
+                let appended = sim.kv.append_token(id).is_ok();
+                sim.stats.grow(known);
+                known += 1;
+                if appended {
+                    break;
+                }
                 // Out of blocks: preempt the youngest active sequence
                 // (highest id) that is not `id` itself; if `id` is the
                 // only one, preempt it and retry at re-admission.
@@ -647,6 +680,12 @@ impl ServingEngine {
                     .copied()
                     .find(|v| *v != id)
                     .unwrap_or(id);
+                let victim_len = if victim == id {
+                    known
+                } else {
+                    sim.kv.tokens_of(victim).expect("victim is active")
+                };
+                sim.stats.remove(victim_len);
                 let state = sim.active.remove(&victim).expect("victim is active");
                 sim.kv.release(victim)?;
                 sim.preemptions += 1;
@@ -685,6 +724,7 @@ impl ServingEngine {
                     tpot_s: Some(tpot),
                     output_tokens,
                 });
+                sim.stats.remove(known);
                 sim.active.remove(&id);
                 sim.kv.release(id)?;
                 sim.completed += 1;
@@ -698,6 +738,7 @@ impl ServingEngine {
                 );
             }
         }
+        sim.scratch_ids = ids;
         Ok(true)
     }
 
@@ -765,7 +806,7 @@ impl ServingEngine {
         if requests.is_empty() {
             return Err(DcmError::InvalidConfig("empty request trace".to_owned()));
         }
-        let mut sim = self.make_sim()?;
+        let mut sim = self.make_sim(requests.len())?;
         if traced {
             sim.trace = TraceRecorder::enabled(0);
         }

@@ -53,7 +53,7 @@ pub mod engine;
 pub mod fault;
 pub mod kv_cache;
 
-pub use attention::{PagedAttention, PagedBackend};
+pub use attention::{BatchStats, PagedAttention, PagedBackend};
 pub use block::{BlockList, BlockTable};
 pub use cluster::{Cluster, ClusterReport, ReplicaStats, RoutingPolicy};
 pub use dataset::{ArrivalProcess, Request, SyntheticDataset};

@@ -93,6 +93,47 @@ macro_rules! impl_strategy_for_float_range {
 
 impl_strategy_for_float_range!(f32, f64);
 
+macro_rules! impl_strategy_for_tuple {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A / 0, B / 1);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3);
+
+/// Collection strategies (the `proptest::collection` subset in use).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing a `Vec` of `element`-drawn values with a length
+    /// sampled from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// A `Vec` strategy: each case draws a length from `size`, then that
+    /// many elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::generate(&self.size, rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
 /// Run `#[test]` functions over sampled inputs.
 ///
 /// Supported grammar (the subset the workspace uses):
@@ -215,6 +256,19 @@ mod tests {
         let rc: Vec<u64> = (0..4).map(|_| (0u64..1000).generate(&mut c)).collect();
         assert_eq!(ra, rb);
         assert_ne!(ra, rc);
+    }
+
+    proptest! {
+        /// Tuple and vec strategies compose and respect their bounds.
+        #[test]
+        fn tuple_and_vec_strategies_work(
+            pair in (0u8..3, 10usize..20),
+            items in crate::collection::vec((0u64..5, 1usize..4), 0..6),
+        ) {
+            prop_assert!(pair.0 < 3 && (10..20).contains(&pair.1));
+            prop_assert!(items.len() < 6);
+            prop_assert!(items.iter().all(|&(a, b)| a < 5 && (1..4).contains(&b)));
+        }
     }
 
     #[test]

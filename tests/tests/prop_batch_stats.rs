@@ -1,0 +1,125 @@
+//! Property tests for the O(1) decode-step costing path: the
+//! incrementally maintained [`BatchStats`] must agree with aggregates
+//! recomputed from scratch under arbitrary admit/grow/remove
+//! interleavings, and [`PagedAttention::decode_cost_from_stats`] must be
+//! bit-identical to the historical slice path — the invariants the
+//! engine hot loop and the golden serving fixtures lean on.
+
+use dcm_compiler::Device;
+use dcm_vllm::attention::{BatchStats, PagedAttention, PagedBackend};
+use dcm_workloads::llama::LlamaConfig;
+use proptest::prelude::*;
+
+fn attention(backend: PagedBackend) -> PagedAttention {
+    let device = match backend {
+        PagedBackend::A100Fused => Device::a100(),
+        _ => Device::gaudi2(),
+    };
+    PagedAttention::new(&device, backend, &LlamaConfig::llama31_8b(), 1)
+}
+
+fn backend_for(idx: usize) -> PagedBackend {
+    [
+        PagedBackend::GaudiBase,
+        PagedBackend::GaudiOpt,
+        PagedBackend::A100Fused,
+        PagedBackend::GaudiFusedHypothetical,
+    ][idx % 4]
+}
+
+/// Replay an op sequence against both the incremental accumulator and a
+/// plain `Vec<usize>` model, checking the aggregates after every step.
+/// Ops: 0 = admit a new sequence, 1 = grow one, 2 = remove one.
+fn replay(block_tokens: usize, ops: &[(u8, usize, usize)]) -> (BatchStats, Vec<usize>) {
+    let mut stats = BatchStats::new(block_tokens);
+    let mut model: Vec<usize> = Vec::new();
+    for &(op, len_seed, pick_seed) in ops {
+        match op % 3 {
+            0 => {
+                let len = len_seed % 5000;
+                stats.add(len);
+                model.push(len);
+            }
+            1 if !model.is_empty() => {
+                let i = pick_seed % model.len();
+                stats.grow(model[i]);
+                model[i] += 1;
+            }
+            2 if !model.is_empty() => {
+                let i = pick_seed % model.len();
+                let len = model.swap_remove(i);
+                stats.remove(len);
+            }
+            _ => {}
+        }
+        let reference = BatchStats::from_lens(&model, block_tokens);
+        assert_eq!(stats, reference, "stats diverged after {} ops", ops.len());
+    }
+    (stats, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Incremental aggregates equal recomputed-from-scratch aggregates
+    /// after every step of a random admit/grow/remove interleaving.
+    #[test]
+    fn incremental_stats_match_recompute_under_interleavings(
+        block_tokens in 1usize..300,
+        ops in proptest::collection::vec(
+            (0u8..3, 0usize..10_000, 0usize..10_000), 0..120),
+    ) {
+        let (stats, model) = replay(block_tokens, &ops);
+        prop_assert_eq!(stats.count(), model.len());
+        prop_assert_eq!(stats.sum_lens(), model.iter().sum::<usize>());
+        let blocks: Vec<usize> = model
+            .iter()
+            .map(|&l| l.max(1).div_ceil(block_tokens))
+            .collect();
+        prop_assert_eq!(stats.sum_blocks(), blocks.iter().sum::<usize>());
+        prop_assert_eq!(stats.max_blocks(), blocks.iter().max().copied().unwrap_or(0));
+    }
+
+    /// `decode_cost_from_stats` reproduces `decode_cost` bit for bit on
+    /// every backend, padding and length mix — the slice path is a thin
+    /// wrapper, so the two can never drift.
+    #[test]
+    fn stats_costing_is_bit_identical_to_slice_costing(
+        backend_idx in 0usize..4,
+        lens in proptest::collection::vec(0usize..8192, 1..96),
+        padding_pct in 0usize..100,
+    ) {
+        let pa = attention(backend_for(backend_idx));
+        let padding = padding_pct as f64 / 100.0;
+        let stats = BatchStats::from_lens(&lens, pa.batch_stats().block_tokens());
+        let a = pa.decode_cost(&lens, padding);
+        let b = pa.decode_cost_from_stats(&stats, padding);
+        prop_assert_eq!(a.time().to_bits(), b.time().to_bits());
+        prop_assert_eq!(a.compute_s.to_bits(), b.compute_s.to_bits());
+        prop_assert_eq!(a.memory_s.to_bits(), b.memory_s.to_bits());
+        prop_assert_eq!(a.flops.to_bits(), b.flops.to_bits());
+        prop_assert_eq!(a.bus_bytes, b.bus_bytes);
+        prop_assert_eq!(a.useful_bytes, b.useful_bytes);
+    }
+
+    /// Growing a sequence one token at a time equals rebuilding the
+    /// aggregates from the final lengths — block-boundary bookkeeping
+    /// (including the len 0 -> 1 edge, which stays at one block) never
+    /// drifts.
+    #[test]
+    fn token_by_token_growth_matches_rebuild(
+        block_tokens in 1usize..130,
+        start in 0usize..300,
+        growth in 0usize..400,
+    ) {
+        let mut stats = BatchStats::new(block_tokens);
+        stats.add(start);
+        for len in start..start + growth {
+            stats.grow(len);
+        }
+        prop_assert_eq!(
+            stats,
+            BatchStats::from_lens(&[start + growth], block_tokens)
+        );
+    }
+}

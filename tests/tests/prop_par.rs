@@ -1,0 +1,123 @@
+//! Property tests for the deterministic parallel sweep harness: the
+//! sweep binaries' contract is that `par_map` returns the same bytes at
+//! any thread count, because each point is a pure seeded function. These
+//! tests pin that on real simulation workloads (attention costing and a
+//! full cluster sweep), not just on toy closures.
+//!
+//! Thread counts are passed explicitly rather than via `DCM_THREADS` —
+//! mutating the process environment from concurrently running tests is
+//! racy; the env-var parsing itself is covered by `dcm_core::par` unit
+//! tests.
+
+use dcm_compiler::Device;
+use dcm_core::par::par_map;
+use dcm_vllm::attention::{PagedAttention, PagedBackend};
+use dcm_vllm::cluster::{Cluster, RoutingPolicy};
+use dcm_vllm::dataset::{ArrivalProcess, SyntheticDataset};
+use dcm_workloads::llama::LlamaConfig;
+use proptest::prelude::*;
+
+/// An `ext`-style sweep point: one seeded cluster run, reduced to its
+/// report's float fields as raw bits.
+fn cluster_point(seed: u64, replicas: usize, rate_rps: f64) -> Vec<u64> {
+    let trace = SyntheticDataset::dynamic_sonnet_online(
+        8 * replicas,
+        seed,
+        &ArrivalProcess::Poisson { rate_rps },
+    );
+    let report = Cluster::homogeneous(
+        &Device::gaudi2(),
+        &LlamaConfig::llama31_8b(),
+        1,
+        PagedBackend::GaudiOpt,
+        8,
+        replicas,
+        RoutingPolicy::JoinShortestQueue,
+    )
+    .run(&trace)
+    .expect("trace fits");
+    let s = &report.serving;
+    [
+        s.total_time_s,
+        s.throughput_tps,
+        s.mean_ttft_s,
+        s.p99_ttft_s,
+        s.mean_tpot_s,
+        s.p99_queue_delay_s,
+    ]
+    .iter()
+    .map(|f| f.to_bits())
+    .collect()
+}
+
+#[test]
+fn ext_style_cluster_sweep_is_identical_serial_vs_parallel() {
+    let points: Vec<(u64, usize, f64)> = (0..6)
+        .map(|i| (2026 + i, 1 + (i as usize % 3), 0.5 + 0.5 * i as f64))
+        .collect();
+    let serial = par_map(&points, 1, |&(seed, n, rate)| cluster_point(seed, n, rate));
+    for threads in [2, 8] {
+        let par = par_map(&points, threads, |&(seed, n, rate)| {
+            cluster_point(seed, n, rate)
+        });
+        assert_eq!(par, serial, "threads = {threads}");
+    }
+}
+
+#[test]
+fn empty_input_yields_empty_output() {
+    let empty: Vec<u64> = Vec::new();
+    for threads in [1, 2, 8] {
+        assert!(par_map(&empty, threads, |&x| x).is_empty());
+    }
+}
+
+#[test]
+fn panic_in_simulation_point_propagates() {
+    let points: Vec<usize> = (0..16).collect();
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        par_map(&points, 4, |&i| {
+            assert!(i != 11, "injected failure");
+            i
+        })
+    }));
+    assert!(caught.is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Attention-costing sweeps produce bit-identical floats at thread
+    /// counts 1, 2 and 8 for arbitrary point grids.
+    #[test]
+    fn costing_sweep_bits_are_thread_count_invariant(
+        points in proptest::collection::vec((1usize..64, 64usize..4096), 1..24),
+    ) {
+        let pa = PagedAttention::new(
+            &Device::gaudi2(),
+            PagedBackend::GaudiOpt,
+            &LlamaConfig::llama31_8b(),
+            1,
+        );
+        let eval = |&(batch, len): &(usize, usize)| {
+            pa.decode_cost(&vec![len; batch], 0.0).time().to_bits()
+        };
+        let serial: Vec<u64> = points.iter().map(eval).collect();
+        for threads in [2usize, 8] {
+            prop_assert_eq!(&par_map(&points, threads, eval), &serial);
+        }
+    }
+
+    /// Order preservation holds for any input length and thread count —
+    /// including thread counts far above the item count.
+    #[test]
+    fn output_order_matches_input_order(
+        n in 0usize..200,
+        threads in 1usize..32,
+    ) {
+        let items: Vec<usize> = (0..n).collect();
+        let got = par_map(&items, threads, |&i| i * 3 + 1);
+        let want: Vec<usize> = items.iter().map(|&i| i * 3 + 1).collect();
+        prop_assert_eq!(got, want);
+    }
+}

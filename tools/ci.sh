@@ -21,12 +21,32 @@ cargo test -q --workspace
 # Smoke-run every figure/extension binary with the cheap DCM_SMOKE=1
 # configuration: sweeps shrink to a handful of points, but every code
 # path (tables, CSV export, trace export) still executes end to end.
-echo "==> smoke-running bench binaries (DCM_SMOKE=1)"
+# DCM_THREADS=2 exercises the parallel sweep harness even on 1-core CI
+# boxes (thread count is an explicit override, not a host probe).
+echo "==> smoke-running bench binaries (DCM_SMOKE=1 DCM_THREADS=2)"
 cargo build -q --release -p dcm-bench
 for bin in crates/bench/src/bin/*.rs; do
     name=$(basename "$bin" .rs)
     echo "==> smoke: $name"
-    DCM_SMOKE=1 cargo run -q --release -p dcm-bench --bin "$name" >/dev/null
+    DCM_SMOKE=1 DCM_THREADS=2 cargo run -q --release -p dcm-bench --bin "$name" >/dev/null
 done
+
+# Determinism cross-check: a sweep binary must emit byte-identical CSVs
+# (and stdout) regardless of thread count. Run one representative sweep
+# serially and at 8 threads and diff everything it produced.
+echo "==> determinism cross-check: ext_hetero_cluster at DCM_THREADS=1 vs 8"
+det_tmp=$(mktemp -d)
+trap 'rm -rf "$det_tmp"' EXIT
+DCM_SMOKE=1 DCM_THREADS=1 cargo run -q --release -p dcm-bench \
+    --bin ext_hetero_cluster >"$det_tmp/stdout.1"
+cp results/ext_hetero_p99_ttft.csv results/ext_hetero_throughput.csv \
+    results/ext_hetero_requests.csv "$det_tmp"
+DCM_SMOKE=1 DCM_THREADS=8 cargo run -q --release -p dcm-bench \
+    --bin ext_hetero_cluster >"$det_tmp/stdout.8"
+diff "$det_tmp/stdout.1" "$det_tmp/stdout.8"
+for csv in ext_hetero_p99_ttft.csv ext_hetero_throughput.csv ext_hetero_requests.csv; do
+    diff "$det_tmp/$csv" "results/$csv"
+done
+echo "==> determinism OK"
 
 echo "==> ci OK"
