@@ -106,6 +106,7 @@ pub fn banner(artifact: &str, paper_claim: &str) {
 
 /// Print a compact paper-vs-measured comparison line.
 pub fn compare(metric: &str, paper: f64, measured: f64) {
+    // dcm-lint: allow(F2) exact-zero sentinel: no paper value to compare
     let dev = if paper != 0.0 {
         format!("{:+.0}%", (measured / paper - 1.0) * 100.0)
     } else {

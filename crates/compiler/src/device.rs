@@ -78,7 +78,7 @@ impl GraphRun {
     #[must_use]
     pub fn breakdown(&self, top: usize) -> dcm_core::metrics::Table {
         let mut units: Vec<(String, f64)> = self.unit_times.clone();
-        units.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN times"));
+        units.sort_by(|a, b| b.1.total_cmp(&a.1));
         let mut t = dcm_core::metrics::Table::new(
             format!("top {} schedule units by wall time", top.min(units.len())),
             &["unit", "time us", "share"],

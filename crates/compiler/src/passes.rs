@@ -140,6 +140,7 @@ fn pipeline(units: Vec<Scheduled>, slices: usize) -> Vec<Scheduled> {
                     Scheduled::Single(op) => op,
                     _ => unreachable!("checked above"),
                 };
+                // dcm-lint: allow(P1) next_is_vector proved peek() was Some
                 let consumer = iter.next().expect("peeked");
                 out.push(Scheduled::Pipelined {
                     producer,

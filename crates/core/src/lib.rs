@@ -11,6 +11,8 @@
 //! * [`specs`] — the hardware parameters of both devices (the paper's
 //!   Table 1), used to parameterize every downstream model.
 //! * [`dtype`] — numeric formats and their storage widths.
+//! * [`cast`] — checked float↔integer conversions (debug-asserted
+//!   exactness; see `dcm-lint` rule `C1`).
 //! * [`cost`] — the cost algebra every simulated operator reports into
 //!   ([`OpCost`]: compute time, memory time, flops, bytes).
 //! * [`timeline`] — schedule composition: serial chains and the two-stage
@@ -44,6 +46,7 @@
 //! assert!((ratio - 1.38).abs() < 0.1);
 //! ```
 
+pub mod cast;
 pub mod cost;
 pub mod dtype;
 pub mod energy;

@@ -61,6 +61,7 @@ pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 #[must_use]
 pub fn scale(a: &Tensor, s: f32) -> Tensor {
     let data = a.data().iter().map(|x| x * s).collect::<Vec<_>>();
+    // dcm-lint: allow(P1) element-wise map preserves the validated shape
     Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data).expect("same shape always fits")
 }
 
@@ -108,6 +109,7 @@ pub fn transpose(a: &Tensor) -> Tensor {
 #[must_use]
 pub fn relu(a: &Tensor) -> Tensor {
     let data = a.data().iter().map(|&x| x.max(0.0)).collect::<Vec<_>>();
+    // dcm-lint: allow(P1) element-wise map preserves the validated shape
     Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data).expect("same shape always fits")
 }
 
@@ -119,6 +121,7 @@ pub fn silu(a: &Tensor) -> Tensor {
         .iter()
         .map(|&x| x / (1.0 + (-x).exp()))
         .collect::<Vec<_>>();
+    // dcm-lint: allow(P1) element-wise map preserves the validated shape
     Tensor::from_vec(a.shape().dims().to_vec(), a.dtype(), data).expect("same shape always fits")
 }
 

@@ -69,9 +69,12 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return 0.0;
     }
+    debug_assert!(xs.iter().all(|x| !x.is_nan()), "NaN in percentile input");
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in percentile input"));
-    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v.sort_by(f64::total_cmp);
+    let rank = crate::cast::f64_to_usize(
+        ((p / 100.0) * (crate::cast::usize_to_f64(v.len()) - 1.0)).round(),
+    );
     v[rank.min(v.len() - 1)]
 }
 

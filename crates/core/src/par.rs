@@ -88,6 +88,7 @@ where
                     break;
                 }
                 let r = f(&items[i]);
+                // dcm-lint: allow(P1) poisoning re-raises a worker panic; propagate
                 *slots[i].lock().expect("slot lock poisoned") = Some(r);
             });
         }
@@ -96,7 +97,9 @@ where
         .into_iter()
         .map(|s| {
             s.into_inner()
+                // dcm-lint: allow(P1) poisoning re-raises a worker panic; propagate
                 .expect("slot lock poisoned")
+                // dcm-lint: allow(P1) scope join guarantees every slot was filled
                 .expect("every claimed slot is filled before scope exit")
         })
         .collect()

@@ -46,6 +46,7 @@ pub fn powerlaw_indices<R: Rng + ?Sized>(
 ) -> Vec<usize> {
     assert!(max > 0, "index range must be non-empty");
     assert!(alpha >= 0.0, "alpha must be non-negative");
+    // dcm-lint: allow(F2) alpha == 0.0 is an exact sentinel for "uniform"
     if alpha == 0.0 {
         return uniform_indices(rng, n, max);
     }
@@ -73,6 +74,7 @@ pub fn weighted_choice<R: Rng + ?Sized, T: Copy>(rng: &mut R, choices: &[(T, f64
     assert!(!choices.is_empty(), "choices must be non-empty");
     let weights: Vec<f64> = choices.iter().map(|&(_, w)| w).collect();
     let dist = rand::distributions::WeightedIndex::new(&weights)
+        // dcm-lint: allow(P1) documented panic contract of weighted_choice
         .expect("weights must be non-negative and sum > 0");
     choices[dist.sample(rng)].0
 }

@@ -118,6 +118,7 @@ pub fn single_table_tpc_forward(
     let kernel = SingleTableTpcKernel::new(cfg.clone(), lookup.batch);
     let out_desc = TensorDesc::new([lookup.batch, cfg.tables * cfg.dim], cfg.dtype);
     let mut result = exec.launch(&kernel, &space, &inputs, &[out_desc])?;
+    // dcm-lint: allow(P1) launch returns exactly the declared output descs
     let out = result.outputs.pop().expect("one output declared");
     Ok((out, result.cost))
 }
@@ -237,6 +238,7 @@ pub fn batched_table_tpc_forward(
         &[&idx_tensor, &offsets_tensor, &big],
         &[out_desc],
     )?;
+    // dcm-lint: allow(P1) launch returns exactly the declared output descs
     let out = result.outputs.pop().expect("one output declared");
     Ok((out, result.cost))
 }

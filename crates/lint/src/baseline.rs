@@ -1,0 +1,202 @@
+//! The `lint.allow` baseline: bulk-accepted findings, checked in at the
+//! workspace root so intentional suppressions are reviewed in diffs.
+//!
+//! Format — one accepted finding group per line, tab-separated:
+//!
+//! ```text
+//! rule-id <TAB> path <TAB> count <TAB> trimmed source line
+//! ```
+//!
+//! Keying on the *trimmed line text* (not the line number) makes entries
+//! survive unrelated edits above them; `count` accepts that many identical
+//! lines in the file (e.g. two `x as f64` casts with the same spelling).
+//! `#` comments and blank lines are allowed.
+//!
+//! Matching is strict in both directions: a finding not covered by a
+//! pragma or a baseline entry fails the run, and a baseline entry that no
+//! longer matches anything is *stale* and fails the run too (rot would
+//! otherwise silently re-admit the hazard class). `--fix-baseline`
+//! regenerates the file from the current tree.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Key of one baseline group.
+type Key = (String, String, String); // (rule, path, excerpt)
+
+/// A parsed baseline: accepted-count per (rule, path, line-text) group.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeMap<Key, usize>,
+}
+
+impl Baseline {
+    /// Parse `lint.allow` content. Unparseable lines are reported as
+    /// `(line_number, text)` errors rather than ignored.
+    #[must_use]
+    pub fn parse(content: &str) -> (Self, Vec<(usize, String)>) {
+        let mut entries: BTreeMap<Key, usize> = BTreeMap::new();
+        let mut errors = Vec::new();
+        for (i, raw) in content.lines().enumerate() {
+            let line = raw.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(4, '\t');
+            let parsed = (|| {
+                let rule = parts.next()?.to_owned();
+                let path = parts.next()?.to_owned();
+                let count: usize = parts.next()?.parse().ok()?;
+                let text = parts.next()?.to_owned();
+                Some(((rule, path, text), count))
+            })();
+            match parsed {
+                Some((key, count)) if count > 0 => {
+                    *entries.entry(key).or_insert(0) += count;
+                }
+                _ => errors.push((i + 1, line.to_owned())),
+            }
+        }
+        (Baseline { entries }, errors)
+    }
+
+    /// Split `findings` into (still-firing, baselined-count), consuming
+    /// matched entry counts. Call [`Self::stale`] afterwards for leftovers.
+    #[must_use]
+    pub fn apply(&mut self, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+        let mut live = Vec::new();
+        let mut baselined = 0usize;
+        for f in findings {
+            let key = (f.rule.to_owned(), f.path.clone(), f.excerpt.clone());
+            match self.entries.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    baselined += 1;
+                }
+                _ => live.push(f),
+            }
+        }
+        (live, baselined)
+    }
+
+    /// Baseline groups with unconsumed counts — entries describing
+    /// findings that no longer exist.
+    #[must_use]
+    pub fn stale(&self) -> Vec<Finding> {
+        self.entries
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|((rule, path, text), n)| Finding {
+                path: path.clone(),
+                line: 0,
+                rule: "STALE",
+                message: format!(
+                    "stale lint.allow entry ({n} unmatched): `{rule}\t{path}\t{text}` — \
+                     the finding it accepted is gone; run `dcm-lint --fix-baseline`"
+                ),
+                excerpt: text.clone(),
+            })
+            .collect()
+    }
+
+    /// Render a baseline accepting exactly `findings`, deterministically
+    /// sorted, with a documenting header.
+    #[must_use]
+    pub fn render(findings: &[Finding]) -> String {
+        let mut groups: BTreeMap<Key, usize> = BTreeMap::new();
+        for f in findings {
+            *groups
+                .entry((f.rule.to_owned(), f.path.clone(), f.excerpt.clone()))
+                .or_insert(0) += 1;
+        }
+        let mut out = String::from(
+            "# dcm-lint baseline: bulk-accepted findings, reviewed in diffs.\n\
+             # One group per line: rule <TAB> path <TAB> count <TAB> trimmed source line.\n\
+             # Regenerate with `cargo run -q --release -p dcm-lint -- --fix-baseline`.\n\
+             # Prefer fixing the hazard or an inline `// dcm-lint: allow(rule) reason`\n\
+             # pragma for anything individually load-bearing; the baseline is for the\n\
+             # long tail (today: the audited-but-unmigrated `as` casts of rule C1).\n",
+        );
+        for ((rule, path, text), n) in &groups {
+            out.push_str(&format!("{rule}\t{path}\t{n}\t{text}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, excerpt: &str) -> Finding {
+        Finding {
+            path: path.to_owned(),
+            line: 7,
+            rule,
+            message: String::new(),
+            excerpt: excerpt.to_owned(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_render_parse_apply() {
+        let fs = vec![
+            finding("C1", "crates/core/src/a.rs", "let x = n as f64;"),
+            finding("C1", "crates/core/src/a.rs", "let x = n as f64;"),
+            finding("C1", "crates/vllm/src/b.rs", "y as usize"),
+        ];
+        let rendered = Baseline::render(&fs);
+        let (mut b, errs) = Baseline::parse(&rendered);
+        assert!(errs.is_empty(), "{errs:?}");
+        let (live, baselined) = b.apply(fs);
+        assert!(live.is_empty());
+        assert_eq!(baselined, 3);
+        assert!(b.stale().is_empty());
+    }
+
+    #[test]
+    fn counts_bound_how_many_matches_are_accepted() {
+        let entry = "C1\tcrates/core/src/a.rs\t1\tlet x = n as f64;\n";
+        let (mut b, _) = Baseline::parse(entry);
+        let fs = vec![
+            finding("C1", "crates/core/src/a.rs", "let x = n as f64;"),
+            finding("C1", "crates/core/src/a.rs", "let x = n as f64;"),
+        ];
+        let (live, baselined) = b.apply(fs);
+        assert_eq!(baselined, 1);
+        assert_eq!(live.len(), 1, "second identical cast must still fire");
+    }
+
+    #[test]
+    fn unmatched_entries_are_stale() {
+        let entry = "D1\tcrates/vllm/src/gone.rs\t2\tuse std::collections::HashMap;\n";
+        let (mut b, _) = Baseline::parse(entry);
+        let (live, _) = b.apply(Vec::new());
+        assert!(live.is_empty());
+        let stale = b.stale();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "STALE");
+        assert!(stale[0].message.contains("2 unmatched"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_fine_garbage_is_not() {
+        let content = "# header\n\nC1\tp.rs\t1\tx as f64\nnot a baseline line\n";
+        let (b, errs) = Baseline::parse(content);
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].0, 4);
+    }
+
+    #[test]
+    fn excerpt_may_contain_anything_but_tabs_split_fields() {
+        // splitn(4) keeps tabs *inside* the excerpt intact.
+        let content = "F2\tp.rs\t1\tif a == 0.0 {\t}\n";
+        let (mut b, errs) = Baseline::parse(content);
+        assert!(errs.is_empty());
+        let f = finding("F2", "p.rs", "if a == 0.0 {\t}");
+        let (live, n) = b.apply(vec![f]);
+        assert!(live.is_empty());
+        assert_eq!(n, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! # dcm-lint
+//!
+//! Workspace-wide determinism & numeric-safety static analysis for the
+//! dcm simulation suite — the statically-enforced half of the contract
+//! DESIGN.md §3.7 states in prose.
+//!
+//! Every headline artifact of this reproduction (the five golden serving
+//! reports, the 1-vs-8-thread CSV diffs, the paper-figure crossovers)
+//! rests on bit-identical determinism. Dynamic checks catch a violation
+//! only *after* it ships into a report; this tool proves the known hazard
+//! classes absent at the source level, on every CI run, before clippy:
+//!
+//! | rule | hazard |
+//! |------|--------|
+//! | `D1` | `HashMap`/`HashSet` in simulation crates (iteration order)   |
+//! | `D2` | wall-clock / entropy outside the bench allowlist             |
+//! | `F1` | `partial_cmp` where `total_cmp` is required                  |
+//! | `F2` | bare float `==` outside tests                                |
+//! | `C1` | unjustified numeric `as` casts in simulation crates          |
+//! | `P1` | `unwrap()`/`expect()` in library crates outside tests        |
+//!
+//! Pure std, offline, no dependencies — the linter must not depend on
+//! anything it judges. See [`rules`] for the engine, [`lexer`] for the
+//! hand-rolled token stream it runs on, [`baseline`] for `lint.allow`.
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use baseline::Baseline;
+use report::Summary;
+use rules::Finding;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Everything one lint run produced.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Findings that survive pragmas and the baseline, sorted.
+    pub findings: Vec<Finding>,
+    pub summary: Summary,
+    /// Human-readable report.
+    pub text: String,
+    /// Machine-readable report (`results/lint_report.json` content).
+    pub json: String,
+    /// `Some(content)` when `fix_baseline` was requested: the regenerated
+    /// `lint.allow` accepting every baselinable finding of this run.
+    pub new_baseline: Option<String>,
+}
+
+impl Outcome {
+    /// Whether the tree is lint-clean (exit code 0).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Lint the workspace rooted at `root`.
+///
+/// Reads `root/lint.allow` if present. With `fix_baseline`, instead of
+/// failing on baselinable findings, returns the regenerated baseline
+/// accepting them (the caller writes it); `LINT` meta-diagnostics are
+/// never baselinable and still fail the run.
+///
+/// # Errors
+/// Propagates I/O errors reading the tree (an unreadable file is an
+/// error, not a silent skip — silence would fake cleanliness).
+pub fn run(root: &Path, fix_baseline: bool) -> io::Result<Outcome> {
+    let files = scan::workspace_files(root)?;
+    let mut all: Vec<Finding> = Vec::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel))?;
+        all.extend(rules::lint_source(rel, &src));
+    }
+
+    // LINT diagnostics bypass the baseline entirely.
+    let (meta, baselinable): (Vec<Finding>, Vec<Finding>) =
+        all.into_iter().partition(|f| f.rule == "LINT");
+
+    let mut summary = Summary {
+        files_scanned: files.len(),
+        ..Summary::default()
+    };
+
+    if fix_baseline {
+        let new_baseline = Baseline::render(&baselinable);
+        let mut findings = meta;
+        findings.sort();
+        summary.findings = findings.len();
+        summary.baselined = baselinable.len();
+        let text = report::render_text(&findings, summary);
+        let json = report::render_json(&findings, summary);
+        return Ok(Outcome {
+            findings,
+            summary,
+            text,
+            json,
+            new_baseline: Some(new_baseline),
+        });
+    }
+
+    let baseline_path = root.join("lint.allow");
+    let (mut baseline, parse_errors) = if baseline_path.is_file() {
+        Baseline::parse(&fs::read_to_string(&baseline_path)?)
+    } else {
+        (Baseline::default(), Vec::new())
+    };
+
+    let (mut findings, baselined) = baseline.apply(baselinable);
+    findings.extend(meta);
+    for (line, text) in parse_errors {
+        findings.push(Finding {
+            path: "lint.allow".to_owned(),
+            line: u32::try_from(line).unwrap_or(u32::MAX),
+            rule: "LINT",
+            message: format!("unparseable baseline line: `{text}`"),
+            excerpt: String::new(),
+        });
+    }
+    let stale = baseline.stale();
+    summary.stale_baseline = stale.len();
+    findings.extend(stale);
+    findings.sort();
+    summary.findings = findings.len();
+    summary.baselined = baselined;
+
+    let text = report::render_text(&findings, summary);
+    let json = report::render_json(&findings, summary);
+    Ok(Outcome {
+        findings,
+        summary,
+        text,
+        json,
+        new_baseline: None,
+    })
+}

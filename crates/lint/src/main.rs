@@ -1,0 +1,106 @@
+//! `dcm-lint` — the CI gate binary.
+//!
+//! ```text
+//! dcm-lint [--root DIR] [--json PATH] [--fix-baseline] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` lint-clean, `1` findings (or stale baseline), `2`
+//! usage/IO error. Run from the workspace root (what `cargo run -p
+//! dcm-lint` does); `tools/ci.sh` runs it ahead of clippy so determinism
+//! hazards fail fast.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: PathBuf,
+    fix_baseline: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: PathBuf::from("results/lint_report.json"),
+        fix_baseline: false,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--json" => {
+                args.json = PathBuf::from(it.next().ok_or("--json needs a path")?);
+            }
+            "--fix-baseline" => args.fix_baseline = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: dcm-lint [--root DIR] [--json PATH] [--fix-baseline] [--quiet]"
+                        .to_owned(),
+                );
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = match dcm_lint::run(&args.root, args.fix_baseline) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("dcm-lint: error scanning workspace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(content) = &outcome.new_baseline {
+        let path = args.root.join("lint.allow");
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("dcm-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        if !args.quiet {
+            println!(
+                "dcm-lint: wrote {} accepting {} finding(s); review it in your diff",
+                path.display(),
+                outcome.summary.baselined
+            );
+        }
+    }
+
+    // The JSON report is written even on a clean tree: downstream tooling
+    // reads it unconditionally (EXPERIMENTS.md documents the schema).
+    let json_path = args.root.join(&args.json);
+    if let Some(dir) = json_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("dcm-lint: cannot create {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&json_path, &outcome.json) {
+        eprintln!("dcm-lint: cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+
+    if !args.quiet || !outcome.is_clean() {
+        print!("{}", outcome.text);
+    }
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,168 @@
+//! Deterministic report rendering: human text and machine JSON.
+//!
+//! Both renderings are pure functions of the (already sorted) findings, so
+//! two runs over the same tree produce byte-identical output — itself one
+//! of the properties `dcm-lint` exists to defend, and asserted by
+//! `crates/lint/tests/lint_tests.rs`.
+//!
+//! The JSON writer is hand-rolled (pure std, ~40 lines): the workspace's
+//! serde is an offline shim without serialization, and the linter must not
+//! depend on crates it judges.
+
+use crate::rules::{Finding, RULES};
+
+/// Counters for the summary line and JSON `summary` object.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Summary {
+    pub files_scanned: usize,
+    pub findings: usize,
+    pub baselined: usize,
+    pub stale_baseline: usize,
+}
+
+/// Render the human-readable report. Empty findings render a single
+/// all-clear line.
+#[must_use]
+pub fn render_text(findings: &[Finding], summary: Summary) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.path, f.line, f.rule, f.message
+        ));
+        if !f.excerpt.is_empty() && f.rule != "STALE" {
+            out.push_str(&format!("    | {}\n", f.excerpt));
+        }
+    }
+    out.push_str(&format!(
+        "dcm-lint: {} file(s) scanned, {} finding(s), {} baselined, {} stale baseline entr{}\n",
+        summary.files_scanned,
+        summary.findings,
+        summary.baselined,
+        summary.stale_baseline,
+        if summary.stale_baseline == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+    ));
+    out
+}
+
+/// Render the machine-readable report (`results/lint_report.json`).
+#[must_use]
+pub fn render_json(findings: &[Finding], summary: Summary) -> String {
+    let mut out = String::from("{\n  \"tool\": \"dcm-lint\",\n  \"schema_version\": 1,\n");
+    out.push_str("  \"rules\": [\n");
+    for (i, r) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": {}, \"summary\": {}}}{}\n",
+            json_str(r.id),
+            json_str(r.summary),
+            comma(i, RULES.len())
+        ));
+    }
+    out.push_str("  ],\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"excerpt\": {}}}{}\n",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message),
+            json_str(&f.excerpt),
+            comma(i, findings.len())
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"summary\": {{\"files_scanned\": {}, \"findings\": {}, \"baselined\": {}, \
+         \"stale_baseline\": {}}}\n}}\n",
+        summary.files_scanned, summary.findings, summary.baselined, summary.stale_baseline
+    ));
+    out
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 == len {
+        ""
+    } else {
+        ","
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            path: "crates/vllm/src/engine.rs".to_owned(),
+            line: 45,
+            rule: "D1",
+            message: "`HashMap` in simulation crate `vllm`".to_owned(),
+            excerpt: "use std::collections::{HashMap};".to_owned(),
+        }]
+    }
+
+    #[test]
+    fn text_report_has_file_line_rule_shape() {
+        let s = render_text(
+            &sample(),
+            Summary {
+                files_scanned: 3,
+                findings: 1,
+                ..Summary::default()
+            },
+        );
+        assert!(s.contains("crates/vllm/src/engine.rs:45: [D1]"), "{s}");
+        assert!(s.contains("| use std::collections::{HashMap};"));
+        assert!(s.contains("3 file(s) scanned, 1 finding(s)"));
+    }
+
+    #[test]
+    fn json_is_minimally_wellformed_and_escaped() {
+        let mut f = sample();
+        f[0].message = "quote \" backslash \\ tab \t".to_owned();
+        let s = render_json(&f, Summary::default());
+        assert!(s.contains(r#""rule": "D1""#));
+        assert!(s.contains(r#"quote \" backslash \\ tab \t"#));
+        // Balanced braces/brackets (cheap structural sanity).
+        assert_eq!(
+            s.matches('{').count(),
+            s.matches('}').count(),
+            "brace balance"
+        );
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let f = sample();
+        let sum = Summary {
+            files_scanned: 1,
+            findings: 1,
+            ..Summary::default()
+        };
+        assert_eq!(render_text(&f, sum), render_text(&f, sum));
+        assert_eq!(render_json(&f, sum), render_json(&f, sum));
+    }
+}

@@ -1,0 +1,474 @@
+//! The rule table and the token-stream rule engine.
+//!
+//! Every rule has a stable id, fires as a [`Finding`] with `file:line`
+//! diagnostics, and can be suppressed three ways, in order of preference:
+//!
+//! 1. fix the hazard (the default expectation);
+//! 2. an inline `// dcm-lint: allow(rule-id) reason` pragma on the same
+//!    line, or alone on the line above — for individually-reasoned
+//!    invariants;
+//! 3. a `lint.allow` baseline entry — for bulk accepted findings (the
+//!    `as`-cast audit), regenerated with `--fix-baseline` so intentional
+//!    suppressions show up in diffs.
+//!
+//! A pragma must carry a non-empty reason and name only known rule ids;
+//! violations surface as `LINT` findings, which can never be baselined.
+
+use crate::lexer::{lex, test_regions, LexedFile, Token, TokenKind};
+
+/// Crates whose results are pinned bit-identically (the five golden
+/// serving reports, CSV diffs, paper-figure crossovers). Rules D1 and C1
+/// apply only here; P1 treats these as the "library crates".
+pub const SIM_CRATES: &[&str] = &[
+    "core",
+    "vllm",
+    "mme",
+    "tpc",
+    "mem",
+    "net",
+    "embedding",
+    "workloads",
+    "compiler",
+];
+
+/// Wall-clock and entropy identifiers banned outside the bench allowlist.
+const NONDETERMINISM_SOURCES: &[&str] = &["Instant", "SystemTime", "thread_rng", "from_entropy"];
+
+/// Numeric primitive type names — the target set for rule C1.
+const NUMERIC_TYPES: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128", "f32",
+    "f64",
+];
+
+/// One rule's identity and documentation, surfaced in the JSON report.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+/// The rule table. `LINT` (meta-diagnostics) and `STALE` (baseline rot)
+/// are engine-internal and not listed: they cannot be suppressed.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "D1",
+        summary: "no HashMap/HashSet in simulation crates: hash iteration order is \
+                  nondeterministic and order-dependent float accumulation breaks bit-identity",
+    },
+    RuleInfo {
+        id: "D2",
+        summary: "no wall-clock (Instant::now, SystemTime) or entropy (thread_rng, from_entropy) \
+                  outside the bench/perf-timing allowlist",
+    },
+    RuleInfo {
+        id: "F1",
+        summary: "no partial_cmp on floats: use f64::total_cmp (the EventQueue total-order rule, \
+                  generalized)",
+    },
+    RuleInfo {
+        id: "F2",
+        summary: "no bare f64 == f64 outside tests/goldens: exact float comparison must be \
+                  justified",
+    },
+    RuleInfo {
+        id: "C1",
+        summary: "numeric `as` casts in simulation crates must justify range safety (pragma or \
+                  baseline) or use the dcm_core::cast checked helpers",
+    },
+    RuleInfo {
+        id: "P1",
+        summary: "no unwrap()/expect() in library crates outside tests (bench binaries exempt): \
+                  return Result or document the invariant",
+    },
+];
+
+/// Is `id` a suppressible rule id?
+#[must_use]
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// One diagnostic: rule, location, message, and the offending source line
+/// (trimmed) — the baseline keys on the latter so entries survive
+/// unrelated line-number churn.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-indexed line; 0 for file-level diagnostics.
+    pub line: u32,
+    /// Stable rule id (`D1`, ..., `LINT`, `STALE`).
+    pub rule: &'static str,
+    pub message: String,
+    /// Trimmed source line text (the baseline key).
+    pub excerpt: String,
+}
+
+/// How a file is classified for rule applicability, derived purely from
+/// its workspace-relative path.
+#[derive(Debug, Clone, Copy)]
+pub struct FileClass<'a> {
+    /// `crates/<name>/...` → `<name>`; the `tests/` crate → `"tests"`.
+    pub crate_name: &'a str,
+    /// Inside a `tests/` or `benches/` directory, or the workspace-level
+    /// `tests` crate: every rule treats this as test code.
+    pub is_test_path: bool,
+    /// The bench crate: exempt from D2 (it is the perf-timing allowlist)
+    /// and from P1 (bench binaries may panic on broken invariants).
+    pub is_bench: bool,
+    /// One of [`SIM_CRATES`].
+    pub is_sim: bool,
+}
+
+impl<'a> FileClass<'a> {
+    /// Classify a workspace-relative, `/`-separated path.
+    #[must_use]
+    pub fn of(rel_path: &'a str) -> Self {
+        let mut parts = rel_path.split('/');
+        let crate_name = match parts.next() {
+            Some("crates") => parts.next().unwrap_or(""),
+            Some("tests") => "tests",
+            other => other.unwrap_or(""),
+        };
+        let is_test_path = crate_name == "tests"
+            || rel_path
+                .split('/')
+                .any(|seg| seg == "tests" || seg == "benches");
+        FileClass {
+            crate_name,
+            is_test_path,
+            is_bench: crate_name == "bench",
+            is_sim: SIM_CRATES.contains(&crate_name),
+        }
+    }
+}
+
+/// Lint one file's source. Returns the findings that survive pragma
+/// suppression (baseline subtraction happens at the workspace level, in
+/// [`crate::run`]), including any `LINT` meta-diagnostics about the
+/// pragmas themselves.
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let class = FileClass::of(rel_path);
+    let file = lex(src);
+    let in_test = test_regions(&file.tokens);
+
+    let mut findings = scan_rules(rel_path, &file, &in_test, class);
+    findings.extend(pragma_diagnostics(rel_path, &file));
+    suppress(&mut findings, &file);
+    attach_excerpts(&mut findings, &file);
+    findings.sort();
+    findings
+}
+
+/// Run every pattern rule over the token stream.
+fn scan_rules(
+    rel_path: &str,
+    file: &LexedFile,
+    in_test: &[bool],
+    class: FileClass<'_>,
+) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    let mut push = |rule: &'static str, line: u32, message: String| {
+        out.push(Finding {
+            path: rel_path.to_owned(),
+            line,
+            rule,
+            message,
+            excerpt: String::new(),
+        });
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        // Test code is exempt from every pattern rule: the hazards guarded
+        // here are about simulation *results*, which tests only consume.
+        if class.is_test_path || in_test[i] {
+            continue;
+        }
+        match &t.kind {
+            TokenKind::Ident(name) => match name.as_str() {
+                "HashMap" | "HashSet" if class.is_sim => push(
+                    "D1",
+                    t.line,
+                    format!(
+                        "`{name}` in simulation crate `{}`: hash iteration order is \
+                         nondeterministic; use BTreeMap/BTreeSet or an index-ordered scan",
+                        class.crate_name
+                    ),
+                ),
+                s if NONDETERMINISM_SOURCES.contains(&s) && !class.is_bench => push(
+                    "D2",
+                    t.line,
+                    format!(
+                        "wall-clock/entropy source `{s}` outside the bench allowlist: \
+                         simulation output must be a pure function of seeded inputs"
+                    ),
+                ),
+                "partial_cmp" if prev_is_dot(toks, i) => push(
+                    "F1",
+                    t.line,
+                    "`partial_cmp` call on floats: use `total_cmp` for a total order \
+                     (NaN-safe, deterministic)"
+                        .to_owned(),
+                ),
+                "as" if class.is_sim => {
+                    if let Some(ty) = toks.get(i + 1).and_then(Token::ident) {
+                        if NUMERIC_TYPES.contains(&ty) {
+                            push(
+                                "C1",
+                                t.line,
+                                format!(
+                                    "numeric `as {ty}` cast in simulation crate `{}`: float<->int \
+                                     casts silently truncate/saturate; use dcm_core::cast helpers \
+                                     or justify range safety",
+                                    class.crate_name
+                                ),
+                            );
+                        }
+                    }
+                }
+                "unwrap" | "expect"
+                    if class.is_sim && prev_is_dot(toks, i) && next_is_open_paren(toks, i) =>
+                {
+                    push(
+                        "P1",
+                        t.line,
+                        format!(
+                            "`.{name}()` in library crate `{}`: return a Result or document the \
+                             invariant with a pragma",
+                            class.crate_name
+                        ),
+                    );
+                }
+                _ => {}
+            },
+            TokenKind::Punct(op @ ("==" | "!=")) => {
+                let lhs_float = i > 0 && toks[i - 1].kind == TokenKind::Float;
+                let rhs_float = toks.get(i + 1).is_some_and(|t| t.kind == TokenKind::Float);
+                if lhs_float || rhs_float {
+                    push(
+                        "F2",
+                        t.line,
+                        format!(
+                            "bare float `{op}` comparison: exact float equality outside tests \
+                             must be justified (tolerance, sentinel, or bit pattern?)"
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn prev_is_dot(toks: &[Token], i: usize) -> bool {
+    i > 0 && toks[i - 1].is_punct(".")
+}
+
+fn next_is_open_paren(toks: &[Token], i: usize) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct("("))
+}
+
+/// Validate the pragmas themselves: unknown rule ids and missing reasons
+/// are `LINT` findings (never suppressible or baselinable — a bad
+/// suppression must not be able to hide itself).
+fn pragma_diagnostics(rel_path: &str, file: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for p in &file.pragmas {
+        if p.rules.is_empty() {
+            out.push(Finding {
+                path: rel_path.to_owned(),
+                line: p.line,
+                rule: "LINT",
+                message: "malformed dcm-lint pragma: expected \
+                          `// dcm-lint: allow(rule-id) reason`"
+                    .to_owned(),
+                excerpt: String::new(),
+            });
+            continue;
+        }
+        for r in &p.rules {
+            if !is_known_rule(r) {
+                out.push(Finding {
+                    path: rel_path.to_owned(),
+                    line: p.line,
+                    rule: "LINT",
+                    message: format!("pragma names unknown rule id `{r}`"),
+                    excerpt: String::new(),
+                });
+            }
+        }
+        if p.reason.is_empty() {
+            out.push(Finding {
+                path: rel_path.to_owned(),
+                line: p.line,
+                rule: "LINT",
+                message: "suppression pragma without a reason: every allow() must say why"
+                    .to_owned(),
+                excerpt: String::new(),
+            });
+        }
+    }
+    out
+}
+
+/// Drop findings covered by a well-formed pragma: same line, or the line
+/// directly below an own-line pragma. `LINT` findings are never dropped.
+fn suppress(findings: &mut Vec<Finding>, file: &LexedFile) {
+    findings.retain(|f| {
+        if f.rule == "LINT" {
+            return true;
+        }
+        !file.pragmas.iter().any(|p| {
+            let covers_line = if p.own_line {
+                p.line + 1 == f.line
+            } else {
+                p.line == f.line
+            };
+            covers_line && !p.reason.is_empty() && p.rules.iter().any(|r| r == f.rule)
+        })
+    });
+}
+
+/// Fill each finding's `excerpt` with its trimmed source line.
+fn attach_excerpts(findings: &mut [Finding], file: &LexedFile) {
+    for f in findings.iter_mut() {
+        if f.line >= 1 {
+            if let Some(l) = file.lines.get(f.line as usize - 1) {
+                f.excerpt = l.trim().to_owned();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIM: &str = "crates/vllm/src/engine.rs";
+    const BENCH: &str = "crates/bench/src/bin/perf.rs";
+    const NON_SIM: &str = "crates/examples/src/lib.rs";
+
+    fn rules_fired(path: &str, src: &str) -> Vec<&'static str> {
+        lint_source(path, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn d1_fires_only_in_sim_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_fired(SIM, src), ["D1"]);
+        assert!(rules_fired(NON_SIM, src).is_empty());
+        assert!(rules_fired("tests/tests/prop_x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d2_exempts_the_bench_crate() {
+        let src = "let t0 = std::time::Instant::now();\n";
+        assert_eq!(rules_fired(SIM, src), ["D2"]);
+        assert_eq!(rules_fired(NON_SIM, src), ["D2"]);
+        assert!(rules_fired(BENCH, src).is_empty());
+    }
+
+    #[test]
+    fn f1_fires_on_calls_not_definitions() {
+        assert_eq!(
+            rules_fired(SIM, "v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n"),
+            ["F1", "P1"]
+        );
+        // Implementing PartialOrd *defines* partial_cmp; that is not a call.
+        assert!(rules_fired(
+            SIM,
+            "fn partial_cmp(&self, other: &Self) -> Option<Ordering> { None }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn f2_fires_on_float_literal_equality_either_side() {
+        assert_eq!(rules_fired(SIM, "if x == 0.0 {}\n"), ["F2"]);
+        assert_eq!(rules_fired(SIM, "if 1.5 != y {}\n"), ["F2"]);
+        assert!(rules_fired(SIM, "if x <= 0.0 {}\n").is_empty());
+        assert!(rules_fired(SIM, "if n == 0 {}\n").is_empty());
+    }
+
+    #[test]
+    fn c1_fires_on_numeric_casts_in_sim_crates_only() {
+        let src = "let x = n as f64;\nlet y = t as usize;\n";
+        assert_eq!(rules_fired(SIM, src), ["C1", "C1"]);
+        assert!(rules_fired(NON_SIM, src).is_empty());
+        // Non-numeric casts are not C1's business.
+        assert!(rules_fired(SIM, "let d = e as Box<dyn Error>;\n").is_empty());
+    }
+
+    #[test]
+    fn p1_fires_in_library_crates_only() {
+        let src = "let v = m.get(&k).unwrap();\nlet w = o.expect(\"invariant\");\n";
+        assert_eq!(rules_fired(SIM, src), ["P1", "P1"]);
+        assert!(rules_fired(BENCH, src).is_empty());
+        assert!(rules_fired(NON_SIM, src).is_empty());
+        // A function *named* unwrap, or the Result type's docs, don't fire.
+        assert!(rules_fired(SIM, "fn unwrap() {}\n").is_empty());
+    }
+
+    #[test]
+    fn cfg_test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n use std::collections::HashMap;\n fn t() { x.unwrap(); }\n}\n";
+        assert!(rules_fired(SIM, src).is_empty());
+    }
+
+    #[test]
+    fn same_line_pragma_suppresses() {
+        let src = "use std::collections::HashMap; // dcm-lint: allow(D1) keyed lookups only\n";
+        assert!(rules_fired(SIM, src).is_empty());
+    }
+
+    #[test]
+    fn own_line_pragma_covers_next_line() {
+        let src =
+            "// dcm-lint: allow(F2) exact sentinel: 0.0 disables the feature\nif alpha == 0.0 {}\n";
+        assert!(rules_fired(SIM, src).is_empty());
+        // ...but not two lines down.
+        let src2 = "// dcm-lint: allow(F2) exact sentinel\nlet ok = 1;\nif alpha == 0.0 {}\n";
+        assert_eq!(rules_fired(SIM, src2), ["F2"]);
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_lint_error_and_does_not_suppress() {
+        let src = "use std::collections::HashMap; // dcm-lint: allow(D1)\n";
+        let fired = rules_fired(SIM, src);
+        assert!(fired.contains(&"LINT"), "{fired:?}");
+        assert!(fired.contains(&"D1"), "reasonless pragma must not suppress");
+    }
+
+    #[test]
+    fn pragma_with_unknown_rule_is_a_lint_error() {
+        let src = "let x = 1; // dcm-lint: allow(D9) no such rule\n";
+        assert_eq!(rules_fired(SIM, src), ["LINT"]);
+    }
+
+    #[test]
+    fn pragma_suppresses_only_named_rules() {
+        let src = "let x = m.unwrap() as f64; // dcm-lint: allow(P1) checked above\n";
+        // C1 still fires: the pragma named only P1.
+        assert_eq!(rules_fired(SIM, src), ["C1"]);
+    }
+
+    #[test]
+    fn findings_are_sorted_and_carry_excerpts() {
+        let src = "let b = y as usize;\nlet a = x as f64;\n";
+        let f = lint_source(SIM, src);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f[0].line, 1);
+        assert_eq!(f[0].excerpt, "let b = y as usize;");
+        assert_eq!(f[1].line, 2);
+    }
+
+    #[test]
+    fn hazards_inside_strings_do_not_fire() {
+        let src =
+            "let s = \"HashMap Instant partial_cmp 1.0 == 2.0\";\nlet r = r#\"x.unwrap()\"#;\n";
+        assert!(rules_fired(SIM, src).is_empty());
+    }
+}

@@ -1,0 +1,4 @@
+//! C1 positive: unjustified numeric cast in a simulation crate.
+pub fn mean(total: usize, n: usize) -> f64 {
+    total as f64 / n as f64
+}

@@ -1,0 +1,6 @@
+//! D2 negative: wall-clock is allowed in the bench harness.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed())
+}

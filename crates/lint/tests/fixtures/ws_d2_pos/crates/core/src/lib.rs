@@ -1,0 +1,4 @@
+//! D2 positive: wall-clock time in a deterministic crate.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,4 @@
+//! F2 positive: bare float equality in library code.
+pub fn is_idle(util: f64) -> bool {
+    util == 0.0
+}

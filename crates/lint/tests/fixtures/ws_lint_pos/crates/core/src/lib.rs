@@ -1,0 +1,10 @@
+//! LINT positive: pragma hygiene violations (never suppressible).
+pub fn widen(n: u32) -> u64 {
+    // dcm-lint: allow(C1)
+    n as u64
+}
+
+pub fn widen2(n: u32) -> u64 {
+    // dcm-lint: allow(Q9) no such rule
+    n as u64
+}

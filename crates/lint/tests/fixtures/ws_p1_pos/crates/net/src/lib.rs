@@ -1,0 +1,4 @@
+//! P1 positive: unwrap in library code of a simulation crate.
+pub fn first_hop(path: &[u32]) -> u32 {
+    *path.first().unwrap()
+}

@@ -1,0 +1,4 @@
+//! Clean file; the workspace's lint.allow is what is being tested.
+pub fn identity(n: u64) -> u64 {
+    n
+}

@@ -1,0 +1,115 @@
+//! End-to-end tests of the `dcm-lint` pipeline: fixture mini-workspaces
+//! under `tests/fixtures/` (one directory per scenario, excluded from the
+//! real scan), a self-scan of the actual workspace, and byte-identity of
+//! the reports across runs.
+
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Findings a fixture run produced, as (rule, path) pairs.
+fn run_rules(name: &str) -> Vec<(String, String)> {
+    let out = dcm_lint::run(&fixture(name), false).expect("fixture scan");
+    out.findings
+        .iter()
+        .map(|f| (f.rule.to_owned(), f.path.clone()))
+        .collect()
+}
+
+#[test]
+fn positive_fixtures_fire_their_rule_and_fail_the_run() {
+    for (ws, rule) in [
+        ("ws_d1_pos", "D1"),
+        ("ws_d2_pos", "D2"),
+        ("ws_f1_pos", "F1"),
+        ("ws_f2_pos", "F2"),
+        ("ws_c1_pos", "C1"),
+        ("ws_p1_pos", "P1"),
+        ("ws_lint_pos", "LINT"),
+        ("ws_stale", "STALE"),
+    ] {
+        let out = dcm_lint::run(&fixture(ws), false).expect("fixture scan");
+        assert!(
+            !out.is_clean(),
+            "{ws}: expected a failing run (nonzero exit)"
+        );
+        assert!(
+            out.findings.iter().any(|f| f.rule == rule),
+            "{ws}: expected a {rule} finding, got {:?}",
+            out.findings
+        );
+    }
+}
+
+#[test]
+fn negative_fixtures_are_clean() {
+    for ws in [
+        "ws_d1_neg",
+        "ws_d2_neg",
+        "ws_f1_neg",
+        "ws_f2_neg",
+        "ws_c1_neg",
+        "ws_p1_neg",
+        "ws_pragma_ok",
+    ] {
+        let got = run_rules(ws);
+        assert!(got.is_empty(), "{ws}: expected clean, got {got:?}");
+    }
+}
+
+#[test]
+fn d1_fixture_reports_file_and_both_hash_types() {
+    let out = dcm_lint::run(&fixture("ws_d1_pos"), false).expect("fixture scan");
+    assert!(out
+        .findings
+        .iter()
+        .all(|f| f.path == "crates/vllm/src/lib.rs" && f.rule == "D1"));
+    // `use` line + return type + constructor call.
+    assert_eq!(out.findings.len(), 3);
+    assert_eq!(out.findings[0].line, 2);
+}
+
+#[test]
+fn lint_meta_findings_are_not_suppressible_by_a_baseline() {
+    // Accept everything the hygiene fixture produces, then re-run: the
+    // C1 findings baseline away, the LINT findings must survive.
+    let root = fixture("ws_lint_pos");
+    let first = dcm_lint::run(&root, true).expect("fixture scan");
+    let baseline = first.new_baseline.expect("fix-baseline content");
+    let (mut parsed, errs) = dcm_lint::baseline::Baseline::parse(&baseline);
+    assert!(errs.is_empty());
+    let second = dcm_lint::run(&root, false).expect("fixture scan");
+    let (live, _) = parsed.apply(second.findings);
+    assert!(
+        !live.is_empty() && live.iter().all(|f| f.rule == "LINT"),
+        "LINT findings must survive any baseline: {live:?}"
+    );
+}
+
+#[test]
+fn self_scan_the_real_workspace_is_clean() {
+    let out = dcm_lint::run(&workspace_root(), false).expect("workspace scan");
+    assert!(
+        out.is_clean(),
+        "workspace must be lint-clean; found:\n{}",
+        out.text
+    );
+    assert!(out.summary.files_scanned > 50, "scan looks truncated");
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs() {
+    let root = workspace_root();
+    let a = dcm_lint::run(&root, false).expect("first run");
+    let b = dcm_lint::run(&root, false).expect("second run");
+    assert_eq!(a.text, b.text, "text report must be deterministic");
+    assert_eq!(a.json, b.json, "JSON report must be deterministic");
+}

@@ -119,6 +119,7 @@ impl A100TensorCore {
                 }
             }
         }
+        // dcm-lint: allow(P1) static tile menu always yields a candidate
         best.expect("tile menu is never empty").1
     }
 

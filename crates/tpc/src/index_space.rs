@@ -84,6 +84,7 @@ impl IndexSpace {
     /// Panics if `n` is zero.
     #[must_use]
     pub fn linear(n: usize) -> Self {
+        // dcm-lint: allow(P1) documented panic contract: n must be positive
         Self::new(vec![n]).expect("positive 1-D space is always valid")
     }
 

@@ -23,7 +23,7 @@ use dcm_core::specs::DeviceSpec;
 use dcm_core::tensor::{Tensor, TensorDesc};
 use dcm_mem::hbm::{AccessPattern, HbmModel};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A vector register holding up to one SIMD vector's worth of elements.
 ///
@@ -95,7 +95,7 @@ pub struct KernelCounters {
     pub random_bytes: u64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum TensorSide {
     Input(usize),
     Output(usize),
@@ -112,7 +112,7 @@ pub struct TpcContext<'a> {
     vlm_capacity: usize,
     vlm_used: usize,
     counters: KernelCounters,
-    last_end: HashMap<TensorSide, usize>,
+    last_end: BTreeMap<TensorSide, usize>,
     next_reg: u32,
     current_member: u32,
     trace: Vec<TraceInstr>,
@@ -132,7 +132,7 @@ impl<'a> TpcContext<'a> {
             vlm_capacity,
             vlm_used: 0,
             counters: KernelCounters::default(),
-            last_end: HashMap::new(),
+            last_end: BTreeMap::new(),
             next_reg: 1,
             current_member: 0,
             trace: Vec::new(),
@@ -444,6 +444,7 @@ impl<'a> TpcContext<'a> {
                 .data
                 .iter()
                 .zip(a.data.iter().zip(&b.data))
+                // dcm-lint: allow(F2) select masks are exact 0.0/1.0 sentinels
                 .map(|(&m, (&x, &y))| if m != 0.0 { x } else { y })
                 .collect(),
             id,

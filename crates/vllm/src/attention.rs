@@ -15,6 +15,7 @@
 //!   requests.
 
 use dcm_compiler::{Device, Op};
+use dcm_core::cast::{f64_to_usize, usize_to_f64};
 use dcm_core::cost::{Engine, OpCost};
 use dcm_core::timeline::{pipeline_makespan, slice_evenly};
 use dcm_core::DType;
@@ -332,9 +333,13 @@ impl PagedAttention {
         let batch = stats.count();
         let effectual = stats.sum_blocks();
         let natural_padded = batch * stats.max_blocks();
-        let padded = ((effectual as f64 / (1.0 - extra_padding)) as usize).max(natural_padded);
+        // `.floor()` makes the former truncating `as usize` casts explicit.
+        let padded = f64_to_usize((usize_to_f64(effectual) / (1.0 - extra_padding)).floor())
+            .max(natural_padded);
         let mean_len = stats.sum_lens() / batch;
-        let padded_len = (padded as f64 / batch as f64 * self.block_tokens as f64) as usize;
+        let padded_len = f64_to_usize(
+            (usize_to_f64(padded) / usize_to_f64(batch) * usize_to_f64(self.block_tokens)).floor(),
+        );
 
         let per_layer = match self.backend {
             PagedBackend::GaudiBase => self.base_layer_cost(batch, padded, padded_len),
@@ -343,13 +348,13 @@ impl PagedAttention {
                 self.fused_layer_cost(batch, effectual, mean_len)
             }
         };
-        scale_cost(per_layer, self.layers as f64)
+        scale_cost(per_layer, usize_to_f64(self.layers))
     }
 
     /// Decode throughput in generated tokens per second at `seq_lens`.
     #[must_use]
     pub fn decode_throughput(&self, seq_lens: &[usize], extra_padding: f64) -> f64 {
-        seq_lens.len() as f64 / self.decode_cost(seq_lens, extra_padding).time()
+        usize_to_f64(seq_lens.len()) / self.decode_cost(seq_lens, extra_padding).time()
     }
 
     fn heads_local(&self) -> usize {

@@ -57,7 +57,7 @@ use dcm_core::metrics::LatencyRecorder;
 use dcm_core::sim::EventQueue;
 use dcm_core::trace::{Span, SpanKind, Trace, TraceRecorder};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Arrivals sort after every fault class (crash = 3) at the same instant:
 /// a replica crashing exactly when a request arrives cannot receive it.
@@ -499,7 +499,7 @@ impl Cluster {
             alive: vec![true; n],
             dispatched: vec![0usize; n],
             crashes: vec![0usize; n],
-            attempts: HashMap::new(),
+            attempts: BTreeMap::new(),
             rr: 0,
             shed: 0,
             failed: 0,
@@ -509,8 +509,10 @@ impl Cluster {
         };
         if traced {
             for (i, sim) in st.sims.iter_mut().enumerate() {
+                // dcm-lint: allow(P1) replica counts are far below u32::MAX
                 sim.trace = TraceRecorder::enabled(u32::try_from(i).expect("replica count"));
             }
+            // dcm-lint: allow(P1) replica counts are far below u32::MAX
             st.router_trace = TraceRecorder::enabled(u32::try_from(n).expect("replica count"));
         }
 
@@ -689,7 +691,7 @@ struct RunState {
     crashes: Vec<usize>,
     /// Crash-displacement count per request id, judged against the retry
     /// budget.
-    attempts: HashMap<u64, usize>,
+    attempts: BTreeMap<u64, usize>,
     /// Monotone dispatch counter driving round-robin striping.
     rr: usize,
     shed: usize,

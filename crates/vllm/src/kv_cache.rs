@@ -7,7 +7,7 @@
 
 use dcm_core::error::{DcmError, Result};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifier of one serving request/sequence.
 pub type SeqId = u64;
@@ -18,8 +18,8 @@ pub struct PagedKvCache {
     block_tokens: usize,
     num_blocks: usize,
     free: Vec<usize>,
-    allocated: HashMap<SeqId, Vec<usize>>,
-    seq_tokens: HashMap<SeqId, usize>,
+    allocated: BTreeMap<SeqId, Vec<usize>>,
+    seq_tokens: BTreeMap<SeqId, usize>,
 }
 
 impl PagedKvCache {
@@ -34,8 +34,8 @@ impl PagedKvCache {
             block_tokens,
             num_blocks,
             free: (0..num_blocks).rev().collect(),
-            allocated: HashMap::new(),
-            seq_tokens: HashMap::new(),
+            allocated: BTreeMap::new(),
+            seq_tokens: BTreeMap::new(),
         }
     }
 
@@ -134,6 +134,7 @@ impl PagedKvCache {
                 .free
                 .pop()
                 .ok_or_else(|| DcmError::ResourceExhausted("KV cache out of blocks".to_owned()))?;
+            // dcm-lint: allow(P1) key was just read via self.allocated[&id] above
             self.allocated.get_mut(&id).expect("checked").push(block);
         }
         Ok(())

@@ -12,6 +12,13 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
+# Determinism & numeric-safety static analysis (DESIGN.md §3.7): fails on
+# any hazard not covered by an inline pragma or the lint.allow baseline,
+# and on stale baseline entries. Runs before clippy so the cheap,
+# domain-specific gate fires first. Report: results/lint_report.json.
+echo "==> dcm-lint"
+cargo run -q --release -p dcm-lint
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
