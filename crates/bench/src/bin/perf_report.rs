@@ -1,4 +1,5 @@
-//! Simulator performance baseline: `results/BENCH_dcm.json`.
+//! Simulator performance baseline and regression gate:
+//! `results/BENCH_dcm.json`.
 //!
 //! Every other binary in this crate regenerates a *paper* artifact; this
 //! one measures the simulator itself, establishing the repo's perf
@@ -12,7 +13,12 @@
 //! 2. **Engine throughput** — simulated output tokens and completed
 //!    requests per wall-second for a single-engine offline run and a
 //!    4-replica cluster run.
-//! 3. **Sweep parallelism** — wall-clock for an 8-point cluster sweep
+//! 3. **Fast-forward throughput** — the same engine in the
+//!    million-request configuration (analytic fast-forward + log-histogram
+//!    metrics) on a long steady-decode workload; the headline
+//!    `speedup_vs_pr4_offline` ratio is measured against the checked-in
+//!    PR 4 reference constant.
+//! 4. **Sweep parallelism** — wall-clock for an 8-point cluster sweep
 //!    evaluated serially (`threads = 1`) vs on the ambient
 //!    [`dcm_core::par::thread_count`]. On a multi-core host the ratio
 //!    approaches the core count; `host_parallelism` is recorded so a
@@ -20,8 +26,22 @@
 //!
 //! Timings use wall-clock medians of several repetitions; the simulated
 //! *results* are deterministic, only the timings vary run to run.
-//! `DCM_SMOKE=1` shrinks iteration counts for CI.
+//! `DCM_SMOKE=1` shrinks iteration counts for CI and writes the artifact
+//! to `results/BENCH_dcm.smoke.json` so the checked-in baseline stays
+//! pristine.
+//!
+//! **Regression gate:** `perf_report --check` re-measures, writes
+//! `results/BENCH_dcm.check.json`, and compares against the checked-in
+//! `results/BENCH_dcm.json` with generous tolerance bands (3x on ns/call
+//! and on tokens/wall-s — wide enough to absorb CI noise, tight enough
+//! to catch an accidental O(n) reintroduction). Sweep-parallelism is
+//! only compared when both the baseline and the current host are
+//! multi-core; throughput bands are skipped under `DCM_SMOKE=1` (the
+//! shrunken workload amortizes fixed costs differently) while the
+//! per-call costing bands still apply.
 
+use dcm_core::cast::usize_to_f64;
+use dcm_core::metrics::MetricsMode;
 use dcm_vllm::attention::{BatchStats, PagedAttention, PagedBackend};
 use dcm_vllm::cluster::{Cluster, RoutingPolicy};
 use dcm_vllm::dataset::{ArrivalProcess, SyntheticDataset};
@@ -33,6 +53,16 @@ use std::time::Instant;
 
 const TRACE_SEED: u64 = 2026;
 const MAX_DECODE_BATCH: usize = 16;
+
+/// PR 4 offline-engine throughput (sim tokens per wall-second) on the
+/// reference CI box — the denominator of the headline fast-forward
+/// speedup. Frozen; regenerating the baseline does not move it.
+const PR4_OFFLINE_TOKENS_PER_WALL_S: f64 = 3_105_795.3;
+
+/// Regression bands: a metric may degrade to 1/3 of (or cost 3x) its
+/// baseline before the gate fails. Wide enough for shared-CI noise,
+/// tight enough to catch complexity-class regressions.
+const CHECK_BAND: f64 = 3.0;
 
 fn costing_iters() -> usize {
     if dcm_bench::smoke() {
@@ -47,6 +77,17 @@ fn trace_len() -> usize {
         8
     } else {
         64
+    }
+}
+
+/// Fast-forward workload shape `(requests, output_len)`: long uniform
+/// generations keep the engine in steady decode stretches, the regime
+/// the analytic fast-forward collapses to closed form.
+fn ff_shape() -> (usize, usize) {
+    if dcm_bench::smoke() {
+        (32, 512)
+    } else {
+        (256, 4096)
     }
 }
 
@@ -108,8 +149,8 @@ fn bench_costing(attention: &PagedAttention) -> Vec<CostingRow> {
         );
         rows.push(CostingRow {
             batch,
-            slice_ns: slice_s / iters as f64 * 1e9,
-            stats_ns: stats_s / iters as f64 * 1e9,
+            slice_ns: slice_s / usize_to_f64(iters) * 1e9,
+            stats_ns: stats_s / usize_to_f64(iters) * 1e9,
         });
     }
     rows
@@ -127,6 +168,16 @@ struct EngineRun {
     completed: usize,
 }
 
+impl EngineRun {
+    fn tokens_per_wall_s(&self) -> f64 {
+        safe_div(usize_to_f64(self.sim_tokens), self.wall_s)
+    }
+
+    fn requests_per_wall_s(&self) -> f64 {
+        safe_div(usize_to_f64(self.completed), self.wall_s)
+    }
+}
+
 fn bench_engine_offline() -> EngineRun {
     let gaudi = dcm_bench::device("gaudi2");
     let model = LlamaConfig::llama31_8b();
@@ -142,6 +193,36 @@ fn bench_engine_offline() -> EngineRun {
         .run(&trace)
         .expect("offline trace fits")
     });
+    EngineRun {
+        wall_s,
+        sim_tokens: report.total_output_tokens,
+        completed: report.completed,
+    }
+}
+
+/// The million-request configuration: analytic fast-forward plus
+/// log-histogram metrics on a long steady-decode workload. Counts are
+/// exact (see `tests/tests/prop_fast_forward.rs`); only timestamps are
+/// trapezoid-approximate.
+fn bench_engine_ff() -> EngineRun {
+    let gaudi = dcm_bench::device("gaudi2");
+    let model = LlamaConfig::llama31_8b();
+    let (n, output_len) = ff_shape();
+    let trace = SyntheticDataset::fixed(n, 128, output_len);
+    let (wall_s, report) = median_time_s(timing_reps(), || {
+        ServingEngine::new(
+            &gaudi,
+            model.clone(),
+            1,
+            PagedBackend::GaudiOpt,
+            MAX_DECODE_BATCH,
+        )
+        .with_fast_forward(true)
+        .with_metrics_mode(MetricsMode::Histogram)
+        .run(&trace)
+        .expect("offline trace fits")
+    });
+    assert_eq!(report.completed, n, "fast-forward must complete the trace");
     EngineRun {
         wall_s,
         sim_tokens: report.total_output_tokens,
@@ -221,7 +302,240 @@ fn safe_div(a: f64, b: f64) -> f64 {
     }
 }
 
+/// Slice out the balanced `{...}` object following `"name":` in a
+/// hand-rolled JSON document. Sufficient for the flat two-level schema
+/// this binary emits (no strings containing braces).
+fn json_section<'a>(doc: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":");
+    let start = doc.find(&tag)? + tag.len();
+    let rest = &doc[start..];
+    let open = rest.find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[open..=open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Split the `"name": [...]` array in `doc` into its `{...}` elements.
+fn json_section_array<'a>(doc: &'a str, name: &str) -> Option<Vec<&'a str>> {
+    let tag = format!("\"{name}\":");
+    let start = doc.find(&tag)? + tag.len();
+    let rest = &doc[start..];
+    let open = rest.find('[')?;
+    let close = rest[open..].find(']')? + open;
+    let body = &rest[open + 1..close];
+    let mut out = Vec::new();
+    let mut cursor = body;
+    while let Some(s) = cursor.find('{') {
+        let e = cursor[s..].find('}')? + s;
+        out.push(&cursor[s..=e]);
+        cursor = &cursor[e + 1..];
+    }
+    Some(out)
+}
+
+/// Parse the number following `"key":` inside `scope`.
+fn json_number(scope: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = scope.find(&tag)? + tag.len();
+    let rest = scope[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+struct Measured {
+    costing: Vec<CostingRow>,
+    offline: EngineRun,
+    cluster: EngineRun,
+    engine_ff: EngineRun,
+    sweep: SweepTiming,
+    host_parallelism: usize,
+}
+
+/// Compare the fresh measurement against the checked-in baseline.
+/// Returns human-readable failure lines (empty = gate passes).
+fn check_against_baseline(m: &Measured, baseline: &str) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+
+    // Per-call costing bands apply in every mode: ns/call is normalized,
+    // so the smoke iteration shrink does not distort it.
+    if let Some(rows) = json_section_array(baseline, "decode_costing") {
+        for row in &rows {
+            let (Some(batch), Some(base_ns)) = (
+                json_number(row, "batch"),
+                json_number(row, "stats_ns_per_call"),
+            ) else {
+                failures.push(format!("baseline costing row unparseable: {row}"));
+                continue;
+            };
+            let Some(meas) = m
+                .costing
+                .iter()
+                .find(|r| usize_to_f64(r.batch).to_bits() == batch.to_bits())
+            else {
+                failures.push(format!("no measured costing row for batch {batch}"));
+                continue;
+            };
+            checked += 1;
+            let line = format!(
+                "decode_cost_from_stats batch {batch}: {:.1} ns/call vs baseline {base_ns:.1}",
+                meas.stats_ns
+            );
+            if meas.stats_ns > base_ns * CHECK_BAND {
+                failures.push(format!("FAIL {line} (band {CHECK_BAND}x)"));
+            } else {
+                println!("  ok   {line}");
+            }
+        }
+    } else {
+        failures.push("baseline has no decode_costing section".to_owned());
+    }
+
+    // Throughput bands: only meaningful when the workload shape matches
+    // the baseline's (both smoke or both full).
+    let base_smoke = baseline.contains("\"smoke\": true");
+    if base_smoke == dcm_bench::smoke() {
+        let runs: [(&str, f64); 3] = [
+            ("offline_engine", m.offline.tokens_per_wall_s()),
+            ("cluster_4_replicas", m.cluster.tokens_per_wall_s()),
+            ("engine_ff", m.engine_ff.tokens_per_wall_s()),
+        ];
+        for (name, measured) in runs {
+            let Some(base) =
+                json_section(baseline, name).and_then(|s| json_number(s, "sim_tokens_per_wall_s"))
+            else {
+                failures.push(format!("baseline has no {name}.sim_tokens_per_wall_s"));
+                continue;
+            };
+            checked += 1;
+            let line = format!("{name}: {measured:.0} sim tokens/wall-s vs baseline {base:.0}");
+            if measured < base / CHECK_BAND {
+                failures.push(format!("FAIL {line} (band {CHECK_BAND}x)"));
+            } else {
+                println!("  ok   {line}");
+            }
+        }
+        // The headline acceptance floor: fast-forward throughput must
+        // hold >= 100x the frozen PR 4 offline reference.
+        if !dcm_bench::smoke() {
+            checked += 1;
+            let ratio = m.engine_ff.tokens_per_wall_s() / PR4_OFFLINE_TOKENS_PER_WALL_S;
+            let line = format!("engine_ff speedup vs PR 4 offline: {ratio:.0}x (floor 100x)");
+            if ratio < 100.0 {
+                failures.push(format!("FAIL {line}"));
+            } else {
+                println!("  ok   {line}");
+            }
+        }
+    } else {
+        println!("  skip throughput bands: smoke mode differs from baseline");
+    }
+
+    // Sweep parallelism: a 1-core box measures ~1.0x by construction, so
+    // only compare when both the baseline host and this host have cores
+    // to scale onto.
+    let base_host = json_number(baseline, "host_parallelism").unwrap_or(1.0);
+    if m.host_parallelism > 1 && base_host > 1.0 {
+        let base_speedup = json_section(baseline, "sweep")
+            .and_then(|s| json_number(s, "speedup"))
+            .unwrap_or(1.0);
+        let measured = safe_div(m.sweep.serial_s, m.sweep.parallel_s);
+        checked += 1;
+        let line = format!("sweep speedup: {measured:.2}x vs baseline {base_speedup:.2}x");
+        if measured < base_speedup / 2.0 {
+            failures.push(format!("FAIL {line} (band 2x)"));
+        } else {
+            println!("  ok   {line}");
+        }
+    } else {
+        println!(
+            "  skip sweep-parallelism band: host_parallelism {} vs baseline {base_host:.0}",
+            m.host_parallelism
+        );
+    }
+
+    if checked == 0 {
+        failures.push("perf gate compared nothing — baseline unreadable?".to_owned());
+    }
+    failures
+}
+
+fn render_json(m: &Measured) -> String {
+    // Hand-rolled JSON (the offline workspace has no serde_json); every
+    // value below is a finite number or small literal, so no escaping is
+    // needed.
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"schema\": \"dcm-bench-v2\",");
+    let _ = writeln!(j, "  \"smoke\": {},", dcm_bench::smoke());
+    let _ = writeln!(j, "  \"host_parallelism\": {},", m.host_parallelism);
+    let _ = writeln!(j, "  \"dcm_threads\": {},", m.sweep.threads);
+    let _ = writeln!(j, "  \"costing_iters\": {},", costing_iters());
+    let _ = writeln!(
+        j,
+        "  \"reference\": {{\"pr4_offline_sim_tokens_per_wall_s\": {PR4_OFFLINE_TOKENS_PER_WALL_S}}},"
+    );
+    j.push_str("  \"decode_costing\": [\n");
+    for (i, r) in m.costing.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"batch\": {}, \"slice_ns_per_call\": {:.1}, \"stats_ns_per_call\": {:.1}, \"speedup\": {:.2}}}{}",
+            r.batch,
+            r.slice_ns,
+            r.stats_ns,
+            safe_div(r.slice_ns, r.stats_ns),
+            if i + 1 < m.costing.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    for (name, run) in [
+        ("offline_engine", &m.offline),
+        ("cluster_4_replicas", &m.cluster),
+    ] {
+        let _ = writeln!(
+            j,
+            "  \"{name}\": {{\"wall_s\": {:.6}, \"sim_tokens_per_wall_s\": {:.1}, \"requests_per_wall_s\": {:.2}}},",
+            run.wall_s,
+            run.tokens_per_wall_s(),
+            run.requests_per_wall_s(),
+        );
+    }
+    let _ = writeln!(
+        j,
+        "  \"engine_ff\": {{\"wall_s\": {:.6}, \"sim_tokens_per_wall_s\": {:.1}, \"requests_per_wall_s\": {:.2}, \"speedup_vs_pr4_offline\": {:.1}}},",
+        m.engine_ff.wall_s,
+        m.engine_ff.tokens_per_wall_s(),
+        m.engine_ff.requests_per_wall_s(),
+        m.engine_ff.tokens_per_wall_s() / PR4_OFFLINE_TOKENS_PER_WALL_S,
+    );
+    let _ = writeln!(
+        j,
+        "  \"sweep\": {{\"points\": {}, \"serial_wall_s\": {:.6}, \"parallel_wall_s\": {:.6}, \"threads\": {}, \"speedup\": {:.2}}}",
+        m.sweep.points,
+        m.sweep.serial_s,
+        m.sweep.parallel_s,
+        m.sweep.threads,
+        safe_div(m.sweep.serial_s, m.sweep.parallel_s),
+    );
+    j.push_str("}\n");
+    j
+}
+
 fn main() {
+    let check = std::env::args().any(|a| a == "--check");
     dcm_bench::banner(
         "Perf baseline: simulator throughput and sweep parallelism",
         "not a paper artifact — the repo's own perf trajectory (results/BENCH_dcm.json)",
@@ -252,8 +566,8 @@ fn main() {
         offline.sim_tokens,
         offline.completed,
         offline.wall_s,
-        safe_div(offline.sim_tokens as f64, offline.wall_s),
-        safe_div(offline.completed as f64, offline.wall_s),
+        offline.tokens_per_wall_s(),
+        offline.requests_per_wall_s(),
     );
 
     let cluster = bench_cluster();
@@ -263,8 +577,19 @@ fn main() {
         cluster.sim_tokens,
         cluster.completed,
         cluster.wall_s,
-        safe_div(cluster.sim_tokens as f64, cluster.wall_s),
-        safe_div(cluster.completed as f64, cluster.wall_s),
+        cluster.tokens_per_wall_s(),
+        cluster.requests_per_wall_s(),
+    );
+
+    let engine_ff = bench_engine_ff();
+    println!(
+        "fast-forward engine (histogram metrics): {} sim tokens, {} requests in {:.6} s wall \
+         ({:.0} sim tokens/wall-s, {:.0}x PR 4 offline)",
+        engine_ff.sim_tokens,
+        engine_ff.completed,
+        engine_ff.wall_s,
+        engine_ff.tokens_per_wall_s(),
+        engine_ff.tokens_per_wall_s() / PR4_OFFLINE_TOKENS_PER_WALL_S,
     );
 
     let sweep = bench_sweep();
@@ -279,53 +604,43 @@ fn main() {
 
     let host_parallelism =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let measured = Measured {
+        costing,
+        offline,
+        cluster,
+        engine_ff,
+        sweep,
+        host_parallelism,
+    };
 
-    // Hand-rolled JSON (the offline workspace has no serde_json); every
-    // value below is a finite number or small literal, so no escaping is
-    // needed.
-    let mut j = String::new();
-    j.push_str("{\n");
-    let _ = writeln!(j, "  \"schema\": \"dcm-bench-v1\",");
-    let _ = writeln!(j, "  \"smoke\": {},", dcm_bench::smoke());
-    let _ = writeln!(j, "  \"host_parallelism\": {host_parallelism},");
-    let _ = writeln!(j, "  \"dcm_threads\": {},", sweep.threads);
-    let _ = writeln!(j, "  \"costing_iters\": {},", costing_iters());
-    j.push_str("  \"decode_costing\": [\n");
-    for (i, r) in costing.iter().enumerate() {
-        let _ = writeln!(
-            j,
-            "    {{\"batch\": {}, \"slice_ns_per_call\": {:.1}, \"stats_ns_per_call\": {:.1}, \"speedup\": {:.2}}}{}",
-            r.batch,
-            r.slice_ns,
-            r.stats_ns,
-            safe_div(r.slice_ns, r.stats_ns),
-            if i + 1 < costing.len() { "," } else { "" }
-        );
+    // The checked-in baseline is only overwritten by a deliberate full
+    // regeneration; smoke and check runs write sibling artifacts.
+    let artifact = if check {
+        "results/BENCH_dcm.check.json"
+    } else if dcm_bench::smoke() {
+        "results/BENCH_dcm.smoke.json"
+    } else {
+        "results/BENCH_dcm.json"
+    };
+    dcm_bench::write_artifact(Path::new(artifact), &render_json(&measured));
+
+    if check {
+        println!("\nperf gate: comparing against results/BENCH_dcm.json");
+        let baseline = match std::fs::read_to_string("results/BENCH_dcm.json") {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("perf gate: cannot read results/BENCH_dcm.json: {e}");
+                std::process::exit(1);
+            }
+        };
+        let failures = check_against_baseline(&measured, &baseline);
+        if failures.is_empty() {
+            println!("perf gate: OK");
+        } else {
+            for f in &failures {
+                eprintln!("perf gate: {f}");
+            }
+            std::process::exit(1);
+        }
     }
-    j.push_str("  ],\n");
-    let _ = writeln!(
-        j,
-        "  \"offline_engine\": {{\"wall_s\": {:.6}, \"sim_tokens_per_wall_s\": {:.1}, \"requests_per_wall_s\": {:.2}}},",
-        offline.wall_s,
-        safe_div(offline.sim_tokens as f64, offline.wall_s),
-        safe_div(offline.completed as f64, offline.wall_s),
-    );
-    let _ = writeln!(
-        j,
-        "  \"cluster_4_replicas\": {{\"wall_s\": {:.6}, \"sim_tokens_per_wall_s\": {:.1}, \"requests_per_wall_s\": {:.2}}},",
-        cluster.wall_s,
-        safe_div(cluster.sim_tokens as f64, cluster.wall_s),
-        safe_div(cluster.completed as f64, cluster.wall_s),
-    );
-    let _ = writeln!(
-        j,
-        "  \"sweep\": {{\"points\": {}, \"serial_wall_s\": {:.6}, \"parallel_wall_s\": {:.6}, \"threads\": {}, \"speedup\": {:.2}}}",
-        sweep.points,
-        sweep.serial_s,
-        sweep.parallel_s,
-        sweep.threads,
-        safe_div(sweep.serial_s, sweep.parallel_s),
-    );
-    j.push_str("}\n");
-    dcm_bench::write_artifact(Path::new("results/BENCH_dcm.json"), &j);
 }

@@ -78,66 +78,365 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     v[rank.min(v.len() - 1)]
 }
 
-/// A streaming recorder of latency (or any scalar) samples with exact
-/// quantiles — the backing store for the serving layer's p50/p95/p99 TTFT
-/// and TPOT numbers.
+/// Sub-octave resolution of [`LogHistogram`]: each power-of-two octave is
+/// split linearly into `2^HISTOGRAM_SUBBIN_BITS` bins.
+pub const HISTOGRAM_SUBBIN_BITS: u32 = 6;
+
+/// Right-shift that maps an f64 bit pattern to its histogram bin: keeps
+/// the 11 exponent bits plus the top [`HISTOGRAM_SUBBIN_BITS`] mantissa
+/// bits.
+const SUBBIN_SHIFT: u32 = 52 - HISTOGRAM_SUBBIN_BITS;
+
+/// Guaranteed relative-error bound of [`LogHistogram`] quantiles versus
+/// the exact order statistic, for positive normal samples.
 ///
-/// Samples are kept verbatim (one `f64` each; serving traces are at most a
-/// few thousand requests) and sorted lazily, so quantiles are *exact*
-/// order statistics of the recorded samples (the rounded-linear-rank
-/// definition of [`percentile`], no sketching or interpolation) and runs
-/// are bit-reproducible. Recorders from replica shards can be
-/// [`merged`](Self::merge) into a cluster-wide distribution.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct LatencyRecorder {
-    samples: Vec<f64>,
+/// Proof sketch: within octave `e` every bin spans `w = 2^e / 2^k`
+/// (`k` = [`HISTOGRAM_SUBBIN_BITS`]) and its low edge is `m >= 2^e`. The
+/// reported representative is the bin midpoint, so for any sample `v` in
+/// the bin `|v - rep| <= w/2`, hence `|v - rep| / v <= (w/2) / m <=
+/// 2^-(k+1)`. The rank-`r` order statistic lies in the bin the quantile
+/// walk stops at, so the bound applies to every reported quantile.
+pub const HISTOGRAM_MAX_RELATIVE_ERROR: f64 = 1.0 / 128.0;
+
+/// How a [`LatencyRecorder`] stores its distribution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricsMode {
+    /// Store every sample verbatim; quantiles are exact order statistics.
+    /// The default — all golden-pinned reports use this mode.
+    #[default]
+    Exact,
+    /// Fixed-bin log histogram: O(1) memory per distinct scale, quantiles
+    /// within [`HISTOGRAM_MAX_RELATIVE_ERROR`] of the exact order
+    /// statistic, bit-deterministic bin assignment. For million-request
+    /// runs where storing every sample defeats the SoA refit.
+    Histogram,
 }
 
-impl LatencyRecorder {
-    /// An empty recorder.
+/// A deterministic fixed-bin logarithmic histogram of non-negative
+/// samples.
+///
+/// The bin of a sample is derived from its IEEE-754 *bit pattern* — the
+/// exponent plus the top [`HISTOGRAM_SUBBIN_BITS`] mantissa bits — never
+/// from `ln()`/`log2()` (whose libm implementations vary per platform), so
+/// bin assignment is bit-identical everywhere. Because the bit pattern of
+/// positive floats is monotone in value, bin indices are monotone too and
+/// quantile walks visit bins in value order.
+///
+/// Count, sum (hence mean), min and max are tracked exactly; only the
+/// interior shape is quantized. Zero samples get a dedicated exact bin.
+/// Quantiles report the midpoint of the bin holding the rounded-rank
+/// order statistic (see [`percentile`]), clamped into the exact
+/// `[min, max]` — which makes singleton and two-extreme cases exact and
+/// bounds everything else by [`HISTOGRAM_MAX_RELATIVE_ERROR`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LogHistogram {
+    /// Sparse `(bin index, count)` pairs, sorted by index. Latency
+    /// distributions touch a few dozen distinct bins, so inserts are a
+    /// short memmove and steady-state recording allocates nothing.
+    bins: Vec<(u32, u64)>,
+    zeros: u64,
+    count: usize,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl LogHistogram {
+    /// An empty histogram.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Bin index of a positive sample: exponent and top mantissa bits of
+    /// the IEEE-754 pattern. Pure bit arithmetic — no libm — and monotone
+    /// in the sample value.
+    #[must_use]
+    pub fn bin_index(sample: f64) -> u32 {
+        // dcm-lint: allow(C1) 64-bit pattern >> 46 leaves 18 bits — fits u32
+        (sample.to_bits() >> SUBBIN_SHIFT) as u32
+    }
+
+    /// Half-open value range `[lo, hi)` covered by bin `idx`.
+    #[must_use]
+    pub fn bin_bounds(idx: u32) -> (f64, f64) {
+        let lo = f64::from_bits(u64::from(idx) << SUBBIN_SHIFT);
+        let hi = f64::from_bits((u64::from(idx) + 1) << SUBBIN_SHIFT);
+        (lo, hi)
+    }
+
+    /// The value a bin reports for the samples it holds: its midpoint.
+    fn bin_rep(idx: u32) -> f64 {
+        let (lo, hi) = Self::bin_bounds(idx);
+        0.5 * (lo + hi)
+    }
+
     /// Record one sample.
     ///
     /// # Panics
-    /// Panics on a NaN sample — quantiles would be meaningless.
+    /// Panics on NaN, negative or infinite samples — latencies are finite
+    /// and non-negative by construction, and the bin map needs that.
     pub fn record(&mut self, sample: f64) {
         assert!(!sample.is_nan(), "cannot record NaN");
-        self.samples.push(sample);
+        assert!(
+            sample >= 0.0 && sample.is_finite(),
+            "log-histogram samples must be finite and non-negative, got {sample}"
+        );
+        if self.count == 0 {
+            self.min = sample;
+            self.max = sample;
+        } else {
+            self.min = self.min.min(sample);
+            self.max = self.max.max(sample);
+        }
+        self.count += 1;
+        self.sum += sample;
+        if sample > 0.0 {
+            let idx = Self::bin_index(sample);
+            match self.bins.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(i) => self.bins[i].1 += 1,
+                Err(i) => self.bins.insert(i, (idx, 1)),
+            }
+        } else {
+            self.zeros += 1;
+        }
     }
 
     /// Number of samples recorded.
     #[must_use]
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.count
+    }
+
+    /// Exact arithmetic mean (sum and count are tracked exactly); 0 when
+    /// empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / crate::cast::usize_to_f64(self.count)
+        }
+    }
+
+    /// Exact largest sample; 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact smallest sample; 0 when empty.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Quantile with `p` in `0..=100`; 0 when empty. Uses the same
+    /// rounded-linear-rank definition as [`percentile`], then reports the
+    /// clamped midpoint of the bin holding that order statistic — within
+    /// [`HISTOGRAM_MAX_RELATIVE_ERROR`] of the exact answer.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = crate::cast::f64_to_usize(
+            ((p / 100.0) * (crate::cast::usize_to_f64(self.count) - 1.0)).round(),
+        )
+        .min(self.count - 1);
+        // dcm-lint: allow(C1) usize → u64 is lossless on every supported target
+        let rank = rank as u64;
+        if rank < self.zeros {
+            return 0.0;
+        }
+        let mut seen = self.zeros;
+        for &(idx, c) in &self.bins {
+            if rank < seen + c {
+                return Self::bin_rep(idx).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Absorb all of `other`'s bins and exact scalars.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.zeros += other.zeros;
+        for &(idx, c) in &other.bins {
+            match self.bins.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(i) => self.bins[i].1 += c,
+                Err(i) => self.bins.insert(i, (idx, c)),
+            }
+        }
+    }
+
+    /// `(representative value, count)` pairs in ascending value order,
+    /// zeros first — the quantized view of the distribution.
+    #[must_use]
+    pub fn nonempty_bins(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.bins.len() + 1);
+        if self.zeros > 0 {
+            out.push((0.0, self.zeros));
+        }
+        for &(idx, c) in &self.bins {
+            out.push((Self::bin_rep(idx).clamp(self.min, self.max), c));
+        }
+        out
+    }
+}
+
+/// Internal storage of a [`LatencyRecorder`], selected by [`MetricsMode`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Samples {
+    Exact(Vec<f64>),
+    Histogram(LogHistogram),
+}
+
+impl Default for Samples {
+    fn default() -> Self {
+        Samples::Exact(Vec::new())
+    }
+}
+
+/// A streaming recorder of latency (or any scalar) samples — the backing
+/// store for the serving layer's p50/p95/p99 TTFT and TPOT numbers.
+///
+/// Two modes (see [`MetricsMode`]):
+///
+/// * **Exact** (the default, used by every golden-pinned report): samples
+///   are kept verbatim and sorted lazily, so quantiles are *exact* order
+///   statistics (the rounded-linear-rank definition of [`percentile`],
+///   no sketching or interpolation) and runs are bit-reproducible.
+/// * **Histogram**: a [`LogHistogram`] — constant memory per distinct
+///   scale, quantiles within [`HISTOGRAM_MAX_RELATIVE_ERROR`], exact
+///   count/mean/max. For million-request sweeps.
+///
+/// Recorders from replica shards can be [`merged`](Self::merge) into a
+/// cluster-wide distribution; merging requires matching modes (build the
+/// aggregate with [`LatencyRecorder::like`]).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples: Samples,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder in exact mode.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty recorder in the given mode.
+    #[must_use]
+    pub fn with_mode(mode: MetricsMode) -> Self {
+        match mode {
+            MetricsMode::Exact => Self::default(),
+            MetricsMode::Histogram => LatencyRecorder {
+                samples: Samples::Histogram(LogHistogram::new()),
+            },
+        }
+    }
+
+    /// An empty recorder in histogram mode.
+    #[must_use]
+    pub fn histogram_mode() -> Self {
+        Self::with_mode(MetricsMode::Histogram)
+    }
+
+    /// An empty recorder in the same mode as `other` — for building
+    /// cluster-wide aggregates that can [`merge`](Self::merge) shards.
+    #[must_use]
+    pub fn like(other: &Self) -> Self {
+        Self::with_mode(other.mode())
+    }
+
+    /// This recorder's storage mode.
+    #[must_use]
+    pub fn mode(&self) -> MetricsMode {
+        match self.samples {
+            Samples::Exact(_) => MetricsMode::Exact,
+            Samples::Histogram(_) => MetricsMode::Histogram,
+        }
+    }
+
+    /// Record one sample.
+    ///
+    /// # Panics
+    /// Panics on a NaN sample — quantiles would be meaningless. Histogram
+    /// mode additionally rejects negative and infinite samples.
+    pub fn record(&mut self, sample: f64) {
+        match &mut self.samples {
+            Samples::Exact(v) => {
+                assert!(!sample.is_nan(), "cannot record NaN");
+                v.push(sample);
+            }
+            Samples::Histogram(h) => h.record(sample),
+        }
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        match &self.samples {
+            Samples::Exact(v) => v.len(),
+            Samples::Histogram(h) => h.count(),
+        }
     }
 
     /// Whether no samples have been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.count() == 0
     }
 
-    /// Arithmetic mean; 0 when empty.
+    /// Arithmetic mean; 0 when empty. Exact in both modes.
     #[must_use]
     pub fn mean(&self) -> f64 {
-        mean(&self.samples)
+        match &self.samples {
+            Samples::Exact(v) => mean(v),
+            Samples::Histogram(h) => h.mean(),
+        }
     }
 
-    /// Largest sample; 0 when empty.
+    /// Largest sample; 0 when empty. Exact in both modes.
     #[must_use]
     pub fn max(&self) -> f64 {
-        max(&self.samples)
+        match &self.samples {
+            Samples::Exact(v) => max(v),
+            Samples::Histogram(h) => h.max(),
+        }
     }
 
-    /// Exact quantile — the sample at the rounded linear rank (see
-    /// [`percentile`]) — with `p` in `0..=100`; 0 when empty.
+    /// Quantile at the rounded linear rank (see [`percentile`]) with `p`
+    /// in `0..=100`; 0 when empty. Exact mode returns the order statistic
+    /// itself; histogram mode is within
+    /// [`HISTOGRAM_MAX_RELATIVE_ERROR`] of it.
     #[must_use]
     pub fn quantile(&self, p: f64) -> f64 {
-        percentile(&self.samples, p)
+        match &self.samples {
+            Samples::Exact(v) => percentile(v, p),
+            Samples::Histogram(h) => h.quantile(p),
+        }
     }
 
     /// The (p50, p95, p99) triple most figures report.
@@ -151,25 +450,44 @@ impl LatencyRecorder {
     }
 
     /// Absorb all samples of `other`.
+    ///
+    /// # Panics
+    /// Panics if the modes differ — quantize-then-merge and
+    /// merge-then-quantize disagree, so the mismatch is a bug upstream.
     pub fn merge(&mut self, other: &LatencyRecorder) {
-        self.samples.extend_from_slice(&other.samples);
+        match (&mut self.samples, &other.samples) {
+            (Samples::Exact(a), Samples::Exact(b)) => a.extend_from_slice(b),
+            (Samples::Histogram(a), Samples::Histogram(b)) => a.merge(b),
+            _ => panic!("cannot merge recorders with different metrics modes"),
+        }
     }
 
     /// Evenly-spaced histogram over `[min, max]` with `bins` buckets,
     /// returned as `(bucket_lower_edge, count)` pairs. Empty recorder or
-    /// zero `bins` yields an empty vec.
+    /// zero `bins` yields an empty vec. In histogram mode the counts come
+    /// from the quantized bins (each attributed to its representative).
     #[must_use]
     pub fn histogram(&self, bins: usize) -> Vec<(f64, usize)> {
-        if self.samples.is_empty() || bins == 0 {
+        if self.is_empty() || bins == 0 {
             return Vec::new();
         }
-        let lo = min(&self.samples);
-        let hi = max(&self.samples);
+        let (lo, hi, points): (f64, f64, Vec<(f64, usize)>) = match &self.samples {
+            Samples::Exact(v) => (min(v), max(v), v.iter().map(|&s| (s, 1usize)).collect()),
+            Samples::Histogram(h) => (
+                h.min(),
+                h.max(),
+                h.nonempty_bins()
+                    .into_iter()
+                    // dcm-lint: allow(C1) per-bin count ≤ total count ≤ usize::MAX
+                    .map(|(v, c)| (v, c as usize))
+                    .collect(),
+            ),
+        };
         let width = ((hi - lo) / bins as f64).max(f64::MIN_POSITIVE);
         let mut counts = vec![0usize; bins];
-        for &s in &self.samples {
+        for &(s, c) in &points {
             let idx = (((s - lo) / width) as usize).min(bins - 1);
-            counts[idx] += 1;
+            counts[idx] += c;
         }
         counts
             .into_iter()
@@ -614,6 +932,100 @@ mod tests {
     #[should_panic(expected = "NaN")]
     fn recorder_rejects_nan() {
         LatencyRecorder::new().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn histogram_recorder_rejects_nan() {
+        LatencyRecorder::histogram_mode().record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn histogram_recorder_rejects_negative() {
+        LatencyRecorder::histogram_mode().record(-1.0);
+    }
+
+    #[test]
+    fn histogram_mode_tracks_exact_scalars_and_bounded_quantiles() {
+        let mut h = LatencyRecorder::histogram_mode();
+        let mut e = LatencyRecorder::new();
+        assert_eq!(h.mode(), MetricsMode::Histogram);
+        assert_eq!(h.quantile(99.0), 0.0, "empty recorder");
+        for v in (1..=100).rev() {
+            h.record(f64::from(v));
+            e.record(f64::from(v));
+        }
+        // Count, mean and max are exact in histogram mode.
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.max(), 100.0);
+        assert!((h.mean() - e.mean()).abs() < 1e-12);
+        // Quantiles are within the documented relative-error bound of the
+        // exact order statistic.
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            let exact = e.quantile(p);
+            let approx = h.quantile(p);
+            assert!(
+                (approx - exact).abs() <= exact * HISTOGRAM_MAX_RELATIVE_ERROR,
+                "p{p}: approx {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_mode_edge_cases_are_exact() {
+        // Singleton: min==max clamp makes every quantile the sample itself.
+        let mut one = LatencyRecorder::histogram_mode();
+        one.record(0.000_731_5); // sub-millisecond TTFT scale
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(one.quantile(p), 0.000_731_5);
+        }
+        // Zeros occupy a dedicated exact bin.
+        let mut z = LatencyRecorder::histogram_mode();
+        z.record(0.0);
+        z.record(0.0);
+        z.record(4.0);
+        assert_eq!(z.quantile(0.0), 0.0);
+        assert_eq!(z.quantile(100.0), 4.0);
+        let hist = z.histogram(2);
+        assert_eq!(hist.iter().map(|&(_, c)| c).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn histogram_bins_are_monotone_and_cover_their_samples() {
+        let values = [1e-9, 7.3e-4, 0.02, 0.5, 1.0, 3.25, 1e6];
+        let mut prev = 0u32;
+        for v in values {
+            let idx = LogHistogram::bin_index(v);
+            assert!(idx >= prev, "bin index must be monotone in the value");
+            prev = idx;
+            let (lo, hi) = LogHistogram::bin_bounds(idx);
+            assert!(lo <= v && v < hi, "{v} outside its bin [{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn like_copies_the_mode_and_merge_requires_it() {
+        let h = LatencyRecorder::histogram_mode();
+        let mut agg = LatencyRecorder::like(&h);
+        assert_eq!(agg.mode(), MetricsMode::Histogram);
+        let mut shard = LatencyRecorder::histogram_mode();
+        shard.record(1.0);
+        shard.record(2.0);
+        agg.merge(&shard);
+        assert_eq!(agg.count(), 2);
+        assert_eq!(agg.max(), 2.0);
+        assert_eq!(
+            LatencyRecorder::like(&LatencyRecorder::new()).mode(),
+            MetricsMode::Exact
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different metrics modes")]
+    fn merging_mismatched_modes_panics() {
+        let mut e = LatencyRecorder::new();
+        e.merge(&LatencyRecorder::histogram_mode());
     }
 
     #[test]

@@ -23,7 +23,6 @@ use dcm_mem::hbm::{AccessPattern, HbmModel};
 use dcm_mme::GemmShape;
 use dcm_workloads::llama::LlamaConfig;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 
 /// Default KV-cache block size in tokens (the Gaudi vLLM fork default).
 pub const DEFAULT_BLOCK_TOKENS: usize = 128;
@@ -85,9 +84,13 @@ pub struct BatchStats {
     count: usize,
     sum_lens: usize,
     sum_blocks: usize,
-    /// Multiset of per-sequence block counts: count -> sequences at it.
-    /// `last_key_value` is the max-blocks aggregate.
-    block_hist: BTreeMap<usize, usize>,
+    /// Multiset of per-sequence block counts as sorted `(count,
+    /// sequences at it)` pairs; the last entry is the max-blocks
+    /// aggregate. Distinct counts are bounded by max-seq-len /
+    /// block-size, so the sorted-Vec inserts are short memmoves and the
+    /// Vec's retained capacity makes steady-state mutation
+    /// allocation-free (unlike the BTreeMap's per-node boxes).
+    block_hist: Vec<(usize, usize)>,
 }
 
 impl BatchStats {
@@ -103,7 +106,7 @@ impl BatchStats {
             count: 0,
             sum_lens: 0,
             sum_blocks: 0,
-            block_hist: BTreeMap::new(),
+            block_hist: Vec::new(),
         }
     }
 
@@ -124,13 +127,35 @@ impl BatchStats {
         len.max(1).div_ceil(self.block_tokens)
     }
 
+    /// Add `n` sequences to the multiset slot for `b` blocks.
+    fn hist_add(&mut self, b: usize, n: usize) {
+        match self.block_hist.binary_search_by_key(&b, |&(k, _)| k) {
+            Ok(i) => self.block_hist[i].1 += n,
+            Err(i) => self.block_hist.insert(i, (b, n)),
+        }
+    }
+
+    /// Remove one sequence from the multiset slot for `b` blocks.
+    ///
+    /// # Panics
+    /// Panics if no tracked sequence has that block count.
+    fn hist_remove(&mut self, b: usize) {
+        let Ok(i) = self.block_hist.binary_search_by_key(&b, |&(k, _)| k) else {
+            panic!("BatchStats desync: no sequence at {b} blocks");
+        };
+        self.block_hist[i].1 -= 1;
+        if self.block_hist[i].1 == 0 {
+            self.block_hist.remove(i);
+        }
+    }
+
     /// A sequence of `len` cached tokens joins the batch.
     pub fn add(&mut self, len: usize) {
         let b = self.blocks_for(len);
         self.count += 1;
         self.sum_lens += len;
         self.sum_blocks += b;
-        *self.block_hist.entry(b).or_insert(0) += 1;
+        self.hist_add(b, 1);
     }
 
     /// A sequence of `len` cached tokens leaves the batch. `len` must be
@@ -142,14 +167,7 @@ impl BatchStats {
     /// desynchronized caller would silently corrupt every later cost.
     pub fn remove(&mut self, len: usize) {
         let b = self.blocks_for(len);
-        let slot = self
-            .block_hist
-            .get_mut(&b)
-            .unwrap_or_else(|| panic!("BatchStats desync: no sequence at {b} blocks"));
-        *slot -= 1;
-        if *slot == 0 {
-            self.block_hist.remove(&b);
-        }
+        self.hist_remove(b);
         self.count -= 1;
         self.sum_lens -= len;
         self.sum_blocks -= b;
@@ -163,19 +181,27 @@ impl BatchStats {
     /// # Panics
     /// Panics if no tracked sequence has `len`'s block count.
     pub fn grow(&mut self, len: usize) {
-        self.sum_lens += 1;
+        self.grow_by(len, 1);
+    }
+
+    /// A tracked sequence of `len` cached tokens grows by `n` decoded
+    /// tokens in one step — the analytic fast-forward's bulk update.
+    /// Equivalent to `n` successive [`grow`](Self::grow) calls (which is
+    /// itself `remove(len); add(len + n)`), but touches the multiset at
+    /// most once.
+    ///
+    /// # Panics
+    /// Panics if no tracked sequence has `len`'s block count.
+    pub fn grow_by(&mut self, len: usize, n: usize) {
+        if n == 0 {
+            return;
+        }
+        self.sum_lens += n;
         let old_b = self.blocks_for(len);
-        let new_b = self.blocks_for(len + 1);
+        let new_b = self.blocks_for(len + n);
         if new_b != old_b {
-            let slot = self
-                .block_hist
-                .get_mut(&old_b)
-                .unwrap_or_else(|| panic!("BatchStats desync: no sequence at {old_b} blocks"));
-            *slot -= 1;
-            if *slot == 0 {
-                self.block_hist.remove(&old_b);
-            }
-            *self.block_hist.entry(new_b).or_insert(0) += 1;
+            self.hist_remove(old_b);
+            self.hist_add(new_b, 1);
             self.sum_blocks += new_b - old_b;
         }
     }
@@ -222,7 +248,7 @@ impl BatchStats {
     /// Block count of the widest sequence (0 for an empty batch).
     #[must_use]
     pub fn max_blocks(&self) -> usize {
-        self.block_hist.last_key_value().map_or(0, |(b, _)| *b)
+        self.block_hist.last().map_or(0, |&(b, _)| b)
     }
 }
 
@@ -640,6 +666,22 @@ mod tests {
         replaced.remove(300);
         replaced.add(301);
         assert_eq!(grown, replaced);
+    }
+
+    #[test]
+    fn batch_stats_grow_by_matches_repeated_grow() {
+        let mut bulk = BatchStats::from_lens(&[100, 250, 4000], 128);
+        let mut steps = bulk.clone();
+        bulk.grow_by(100, 300); // crosses several block boundaries
+        bulk.grow_by(250, 5); // stays inside its block
+        bulk.grow_by(4000, 0); // no-op
+        for i in 0..300 {
+            steps.grow(100 + i);
+        }
+        for i in 0..5 {
+            steps.grow(250 + i);
+        }
+        assert_eq!(bulk, steps);
     }
 
     #[test]

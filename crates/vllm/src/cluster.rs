@@ -606,9 +606,12 @@ impl Cluster {
 
     fn aggregate(&self, st: &RunState, cfg: &ResilienceConfig) -> ClusterReport {
         let total_time_s = st.sims.iter().map(SimState::now).fold(0.0_f64, f64::max);
-        let mut ttft = LatencyRecorder::new();
-        let mut tpot = LatencyRecorder::new();
-        let mut queue_delay = LatencyRecorder::new();
+        // Aggregate recorders must share the replicas' metrics mode
+        // (`merge` refuses to mix exact samples with histogram bins); an
+        // empty cluster cannot happen (`Cluster::new` asserts replicas).
+        let mut ttft = LatencyRecorder::like(&st.sims[0].ttft);
+        let mut tpot = LatencyRecorder::like(&st.sims[0].tpot);
+        let mut queue_delay = LatencyRecorder::like(&st.sims[0].queue_delay);
         let mut completed = 0;
         let mut total_output = 0;
         let mut peak_batch = 0;

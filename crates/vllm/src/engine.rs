@@ -34,10 +34,11 @@ use crate::attention::{BatchStats, PagedAttention, PagedBackend, DEFAULT_BLOCK_T
 use crate::dataset::Request;
 use crate::fault::SloSpec;
 use crate::kv_cache::PagedKvCache;
+use crate::slab::{SeqSlab, SlotId};
 use dcm_compiler::{CompileOptions, Device};
 use dcm_core::cast::usize_to_f64;
 use dcm_core::error::{DcmError, Result};
-use dcm_core::metrics::LatencyRecorder;
+use dcm_core::metrics::{LatencyRecorder, MetricsMode};
 use dcm_core::sim::{EventQueue, SimClock};
 use dcm_core::trace::{Span, SpanKind, Trace, TraceRecorder};
 use dcm_core::DType;
@@ -48,6 +49,11 @@ use std::collections::{BTreeMap, VecDeque};
 /// Fraction of HBM reserved for weights and activations before sizing the
 /// KV cache.
 const ACTIVATION_HEADROOM: f64 = 0.08;
+
+/// Shortest steady decode stretch worth fast-forwarding analytically: a
+/// stretch of 0 or 1 steps costs as much to price (two cost-model
+/// evaluations) as to execute normally.
+const MIN_FF_STEPS: usize = 2;
 
 /// Aggregate metrics of one serving run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -170,10 +176,10 @@ pub(crate) struct SimState {
     /// [`PagedAttention::decode_cost_from_stats`] instead of re-walking
     /// the batch. Invariant pinned by `tests/tests/prop_batch_stats.rs`.
     stats: BatchStats,
-    /// Reusable id buffer for the decode loop — avoids a per-step `Vec`
-    /// allocation (the ids must be snapshotted: preemption mutates
+    /// Reusable snapshot buffer for the decode loop — avoids a per-step
+    /// `Vec` allocation (the batch must be snapshotted: preemption mutates
     /// `active` mid-iteration).
-    scratch_ids: Vec<u64>,
+    scratch_ids: Vec<(u64, SlotId)>,
     /// Requests whose arrival time the clock has not reached. The event
     /// queue's `(time, priority, seq)` total order makes simultaneous
     /// arrivals pop in enqueue order — the same behaviour the pre-refactor
@@ -182,10 +188,16 @@ pub(crate) struct SimState {
     /// Arrived requests awaiting admission; preempted sequences re-enter
     /// at the front (they already hold a place in the service order).
     ready: VecDeque<WorkItem>,
-    active: BTreeMap<u64, ActiveSeq>,
-    /// Original request by id — O(1) reconstruction of a preemption
-    /// victim's work item (previously an O(requests) scan per preemption).
-    meta: BTreeMap<u64, Request>,
+    /// Per-sequence state of the active batch, in struct-of-arrays slots
+    /// (the former `BTreeMap<u64, ActiveSeq>` plus the request-meta map,
+    /// collapsed into index operations).
+    slab: SeqSlab,
+    /// The active set as `(request id, slot)` sorted ascending by id —
+    /// reproduces the map's iteration order exactly: ascending-id decode
+    /// order, and `last()` as the youngest (highest-id) preemption victim.
+    /// Bounded by `max_decode_batch`, so the binary-searched insert/remove
+    /// stay trivially cheap and allocation-free after warm-up.
+    active: Vec<(u64, SlotId)>,
     clock: SimClock,
     /// Time spent executing prefill or decode steps (for utilization).
     pub(crate) busy_s: f64,
@@ -217,8 +229,26 @@ impl SimState {
     /// order is fine: the event queue pops arrivals by
     /// `(time, enqueue order)`.
     pub(crate) fn enqueue(&mut self, request: Request) {
-        self.meta.insert(request.id, request);
         self.arrivals.push(request.arrival_s, PRIO_ARRIVAL, request);
+    }
+
+    /// Register a newly admitted sequence in the sorted active set.
+    fn active_insert(&mut self, id: u64, slot: SlotId) {
+        match self.active.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(_) => panic!("duplicate active id {id}"),
+            Err(pos) => self.active.insert(pos, (id, slot)),
+        }
+    }
+
+    /// Drop `id` from the sorted active set (its slab slot is removed
+    /// separately).
+    fn active_remove(&mut self, id: u64) {
+        match self.active.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(pos) => {
+                self.active.remove(pos);
+            }
+            Err(_) => panic!("removing inactive id {id}"),
+        }
     }
 
     /// Current simulated time.
@@ -294,19 +324,17 @@ impl SimState {
             lost += w.resumed.as_ref().map_or(0, |s| s.produced);
             out.push(w.request);
         }
-        let ids: Vec<u64> = self.active.keys().copied().collect();
-        for id in ids {
-            // dcm-lint: allow(P1) id came from self.active.keys() just above
-            let seq = self.active.remove(&id).expect("listed key is active");
-            lost += seq.produced;
+        // Ascending-id order, matching the map-based harvest it replaces.
+        // Index loop (not `drain`) so the vector keeps its capacity.
+        for i in 0..self.active.len() {
+            let (id, slot) = self.active[i];
+            lost += self.slab.produced(slot);
             self.kv.release(id)?;
-            out.push(self.meta[&id]);
+            out.push(self.slab.remove(slot));
         }
+        self.active.clear();
         self.stats.clear(); // the active batch is gone wholesale
 
-        for r in &out {
-            self.meta.remove(&r.id);
-        }
         out.sort_by(|a, b| {
             a.arrival_s
                 .total_cmp(&b.arrival_s)
@@ -404,6 +432,8 @@ pub struct ServingEngine {
     block_tokens: usize,
     kv_blocks_override: Option<usize>,
     slo: SloSpec,
+    metrics_mode: MetricsMode,
+    fast_forward: bool,
     nonattn_cache: BTreeMap<usize, f64>,
     prefill_cache: BTreeMap<usize, f64>,
 }
@@ -434,9 +464,41 @@ impl ServingEngine {
             block_tokens: DEFAULT_BLOCK_TOKENS,
             kv_blocks_override: None,
             slo: SloSpec::default(),
+            metrics_mode: MetricsMode::Exact,
+            fast_forward: false,
             nonattn_cache: BTreeMap::new(),
             prefill_cache: BTreeMap::new(),
         }
+    }
+
+    /// Record TTFT/TPOT/queue-delay in the given mode. The default
+    /// [`MetricsMode::Exact`] stores every sample (bit-identical to the
+    /// pre-histogram engine, golden-pinned); [`MetricsMode::Histogram`]
+    /// uses O(1)-memory log histograms whose quantiles carry a proven
+    /// ±[`HISTOGRAM_MAX_RELATIVE_ERROR`] bound — the mode for
+    /// million-request runs.
+    ///
+    /// [`HISTOGRAM_MAX_RELATIVE_ERROR`]: dcm_core::metrics::HISTOGRAM_MAX_RELATIVE_ERROR
+    #[must_use]
+    pub fn with_metrics_mode(mut self, mode: MetricsMode) -> Self {
+        self.metrics_mode = mode;
+        self
+    }
+
+    /// Enable analytic fast-forward: when the engine is in a steady
+    /// decode stretch (no admission possible, no arrival or completion
+    /// due), it advances the clock in one closed-form step instead of
+    /// pricing every iteration. Completed/shed/failed counts and produced
+    /// token totals are exact (the stretch never crosses a completion,
+    /// admission or KV-exhaustion boundary — see DESIGN.md §3.8);
+    /// timestamps are approximated by a trapezoid over the stretch, so
+    /// latency metrics are no longer bit-identical to the step-by-step
+    /// engine. Off by default; equivalence is property-pinned by
+    /// `tests/tests/prop_fast_forward.rs`.
+    #[must_use]
+    pub fn with_fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
+        self
     }
 
     /// Judge goodput/SLO attainment against `slo` instead of the default.
@@ -500,9 +562,10 @@ impl ServingEngine {
     }
 
     /// Start a fresh simulation: size the KV cache and reset all state.
-    /// `expected_requests` pre-sizes the arrival queue and request-meta
-    /// map (large sweeps enqueue the whole trace up front; repeated heap
-    /// growth there is pure waste).
+    /// `expected_requests` pre-sizes the arrival queue (large sweeps
+    /// enqueue the whole trace up front; repeated growth there is pure
+    /// waste), and the slab/active-set/scratch buffers are pre-sized to
+    /// `max_decode_batch` so steady-state serving never reallocates.
     ///
     /// # Errors
     /// Returns [`DcmError::ResourceExhausted`] if the KV cache cannot hold
@@ -523,17 +586,17 @@ impl ServingEngine {
         Ok(SimState {
             kv,
             stats: self.attention.batch_stats(),
-            scratch_ids: Vec::new(),
+            scratch_ids: Vec::with_capacity(self.max_decode_batch),
             arrivals: EventQueue::with_capacity(expected_requests),
             ready: VecDeque::new(),
-            active: BTreeMap::new(),
-            meta: BTreeMap::new(),
+            slab: SeqSlab::with_capacity(self.max_decode_batch),
+            active: Vec::with_capacity(self.max_decode_batch),
             clock: SimClock::new(),
             busy_s: 0.0,
             time_scale: 1.0,
-            ttft: LatencyRecorder::new(),
-            tpot: LatencyRecorder::new(),
-            queue_delay: LatencyRecorder::new(),
+            ttft: LatencyRecorder::with_mode(self.metrics_mode),
+            tpot: LatencyRecorder::with_mode(self.metrics_mode),
+            queue_delay: LatencyRecorder::with_mode(self.metrics_mode),
             finished: Vec::new(),
             trace: TraceRecorder::disabled(),
             total_output: 0,
@@ -616,10 +679,13 @@ impl ServingEngine {
                     ],
                 );
             } else {
-                sim.stats
-                    // dcm-lint: allow(P1) admit(r.id, ..) succeeded just above
-                    .add(sim.kv.tokens_of(r.id).expect("just admitted"));
-                sim.active.insert(r.id, seq);
+                // dcm-lint: allow(P1) admit(r.id, ..) succeeded just above
+                let kv_tokens = sim.kv.tokens_of(r.id).expect("just admitted");
+                sim.stats.add(kv_tokens);
+                let slot =
+                    sim.slab
+                        .insert(r, seq.remaining, seq.first_token_t, seq.produced, kv_tokens);
+                sim.active_insert(r.id, slot);
             }
             return Ok(true);
         }
@@ -659,16 +725,16 @@ impl ServingEngine {
         );
         let mut ids = std::mem::take(&mut sim.scratch_ids);
         ids.clear();
-        ids.extend(sim.active.keys().copied());
-        for &id in &ids {
-            if !sim.active.contains_key(&id) {
-                continue; // preempted earlier in this step
+        ids.extend(sim.active.iter().copied());
+        for &(id, slot) in &ids {
+            if !sim.slab.contains(slot) {
+                continue; // preempted earlier in this step (generation check)
             }
             // `known` shadows the cache's token count for `id` so the
             // batch stats can be kept in lockstep: the cache counts a
-            // token per append *attempt*, even a failed one.
-            // dcm-lint: allow(P1) membership in sim.active implies a live cache entry
-            let mut known = sim.kv.tokens_of(id).expect("active implies live");
+            // token per append *attempt*, even a failed one. The slab
+            // mirrors the cache count, so no map lookup is needed.
+            let mut known = sim.slab.kv_tokens(slot);
             loop {
                 let appended = sim.kv.append_token(id).is_ok();
                 sim.stats.grow(known);
@@ -679,22 +745,26 @@ impl ServingEngine {
                 // Out of blocks: preempt the youngest active sequence
                 // (highest id) that is not `id` itself; if `id` is the
                 // only one, preempt it and retry at re-admission.
-                let victim = sim
+                let (victim, victim_slot) = sim
                     .active
-                    .keys()
+                    .iter()
                     .rev()
+                    .find(|&&(v, _)| v != id)
                     .copied()
-                    .find(|v| *v != id)
-                    .unwrap_or(id);
+                    .unwrap_or((id, slot));
                 let victim_len = if victim == id {
                     known
                 } else {
-                    // dcm-lint: allow(P1) victim drawn from sim.active.keys()
-                    sim.kv.tokens_of(victim).expect("victim is active")
+                    sim.slab.kv_tokens(victim_slot)
                 };
                 sim.stats.remove(victim_len);
-                // dcm-lint: allow(P1) victim drawn from sim.active.keys()
-                let state = sim.active.remove(&victim).expect("victim is active");
+                let state = ActiveSeq {
+                    remaining: sim.slab.remaining(victim_slot),
+                    first_token_t: sim.slab.first_token_t(victim_slot),
+                    produced: sim.slab.produced(victim_slot),
+                };
+                sim.active_remove(victim);
+                let victim_req = sim.slab.remove(victim_slot);
                 sim.kv.release(victim)?;
                 sim.preemptions += 1;
                 sim.trace.instant(
@@ -702,9 +772,8 @@ impl ServingEngine {
                     "preempt",
                     sim.clock.now(),
                     Some(victim),
-                    &[("recompute_tokens", state.produced as f64)],
+                    &[("recompute_tokens", usize_to_f64(state.produced))],
                 );
-                let victim_req = sim.meta[&victim];
                 sim.ready.push_front(WorkItem {
                     request: victim_req,
                     resumed: Some(state),
@@ -713,41 +782,214 @@ impl ServingEngine {
                     break;
                 }
             }
-            let Some(seq) = sim.active.get_mut(&id) else {
+            if !sim.slab.contains(slot) {
                 continue; // preempted itself
-            };
+            }
+            sim.slab.set_kv_tokens(slot, known);
             sim.total_output += 1;
-            seq.remaining -= 1;
-            seq.produced += 1;
-            if seq.remaining == 0 {
+            let remaining = sim.slab.remaining(slot) - 1;
+            let produced = sim.slab.produced(slot) + 1;
+            sim.slab.set_remaining(slot, remaining);
+            sim.slab.set_produced(slot, produced);
+            if remaining == 0 {
                 // produced >= 2 here: admission emitted the first token
                 // and this decode step at least one more.
-                let tpot = (sim.clock.now() - seq.first_token_t) / usize_to_f64(seq.produced - 1);
+                let first_token_t = sim.slab.first_token_t(slot);
+                let tpot = (sim.clock.now() - first_token_t) / usize_to_f64(produced - 1);
                 sim.tpot.record(tpot);
-                let arrival_s = sim.meta[&id].arrival_s;
-                let ttft_s = seq.first_token_t - arrival_s;
-                let output_tokens = seq.produced;
+                sim.active_remove(id);
+                let req = sim.slab.remove(slot);
+                let ttft_s = first_token_t - req.arrival_s;
                 sim.finished.push(FinishedRequest {
                     ttft_s,
                     tpot_s: Some(tpot),
-                    output_tokens,
+                    output_tokens: produced,
                 });
                 sim.stats.remove(known);
-                sim.active.remove(&id);
                 sim.kv.release(id)?;
                 sim.completed += 1;
                 sim.trace.span(
                     SpanKind::Request,
                     "request",
-                    arrival_s,
-                    sim.clock.now() - arrival_s,
+                    req.arrival_s,
+                    sim.clock.now() - req.arrival_s,
                     Some(id),
-                    &[("output_tokens", output_tokens as f64), ("ttft_s", ttft_s)],
+                    &[
+                        ("output_tokens", usize_to_f64(produced)),
+                        ("ttft_s", ttft_s),
+                    ],
                 );
             }
         }
         sim.scratch_ids = ids;
         Ok(true)
+    }
+
+    /// Price one steady decode stretch in closed form and advance the
+    /// clock over it, or return `Ok(false)` if no stretch is available.
+    ///
+    /// A stretch is `n` consecutive decode steps during which the batch
+    /// composition cannot change: admission is blocked (and KV growth is
+    /// monotone, so it stays blocked), no sequence completes before the
+    /// end, the KV cache cannot run out of blocks (so no preemption), and
+    /// no arrival or caller horizon is crossed. Under those caps every
+    /// produced-token count is exact; only the clock is approximate — the
+    /// per-step cost rises monotonically with sequence length, so the
+    /// stretch time is integrated by a trapezoid over the first and last
+    /// step (see DESIGN.md §3.8 for the soundness argument).
+    fn try_fast_forward(&mut self, sim: &mut SimState, limit: f64) -> Result<bool> {
+        if sim.active.is_empty() {
+            return Ok(false);
+        }
+        // Admission has priority in `sim_step`; a stretch is only sound
+        // while it stays blocked, which requires it to be blocked now
+        // (free blocks shrink and the batch is unchanged mid-stretch, so
+        // a blocked admission cannot unblock).
+        if sim.active.len() < self.max_decode_batch
+            && sim
+                .ready
+                .front()
+                .is_some_and(|w| sim.kv.can_admit(w.admit_tokens() + 1))
+        {
+            return Ok(false);
+        }
+        let batch = sim.active.len();
+        // Cap 1: no completion strictly inside the stretch (completions
+        // land exactly at the stretch end).
+        let mut n = usize::MAX;
+        for &(_, slot) in &sim.active {
+            n = n.min(sim.slab.remaining(slot));
+        }
+        // Cap 2: growing every sequence by `n` tokens must fit the free
+        // blocks, so no append can fail mid-stretch (block demand is
+        // monotone in n — binary search the largest feasible stretch).
+        let free = sim.kv.free_blocks();
+        let extra_blocks = |sim: &SimState, n: usize| -> usize {
+            sim.active
+                .iter()
+                .map(|&(_, slot)| {
+                    let t = sim.slab.kv_tokens(slot);
+                    sim.kv.blocks_for(t + n) - sim.kv.blocks_for(t)
+                })
+                .sum()
+        };
+        if extra_blocks(sim, n) > free {
+            let (mut lo, mut hi) = (0usize, n);
+            while lo < hi {
+                let mid = lo + (hi - lo).div_ceil(2);
+                if extra_blocks(sim, mid) <= free {
+                    lo = mid;
+                } else {
+                    hi = mid - 1;
+                }
+            }
+            n = lo;
+        }
+        if n < MIN_FF_STEPS {
+            return Ok(false);
+        }
+        // Cap 3: never cross the next arrival or the caller's horizon
+        // (stretch time is monotone in n — binary search again).
+        let attn_start = self
+            .attention
+            .decode_cost_from_stats(&sim.stats, 0.0)
+            .time();
+        let horizon = limit.min(sim.arrivals.peek_time().unwrap_or(f64::INFINITY));
+        let now = sim.clock.now();
+        if horizon.is_finite() {
+            if now + self.stretch_time(sim, batch, n, attn_start) > horizon {
+                let (mut lo, mut hi) = (0usize, n);
+                while lo < hi {
+                    let mid = lo + (hi - lo).div_ceil(2);
+                    if now + self.stretch_time(sim, batch, mid, attn_start) <= horizon {
+                        lo = mid;
+                    } else {
+                        hi = mid - 1;
+                    }
+                }
+                n = lo;
+            }
+            if n < MIN_FF_STEPS {
+                return Ok(false);
+            }
+        }
+        // Execute the stretch: one clock advance, then bulk per-sequence
+        // bookkeeping via the O(1)-amortized batch paths.
+        let span = self.stretch_time(sim, batch, n, attn_start);
+        sim.clock.advance_by(span);
+        sim.busy_s += span;
+        sim.peak_batch = sim.peak_batch.max(batch);
+        sim.trace.span(
+            SpanKind::Decode,
+            "decode_ff",
+            now,
+            span,
+            None,
+            &[("batch", usize_to_f64(batch)), ("steps", usize_to_f64(n))],
+        );
+        sim.total_output += n * batch;
+        let mut ids = std::mem::take(&mut sim.scratch_ids);
+        ids.clear();
+        ids.extend(sim.active.iter().copied());
+        for &(id, slot) in &ids {
+            let t = sim.slab.kv_tokens(slot);
+            sim.kv.append_tokens(id, n)?; // cannot fail: cap 2
+            sim.stats.grow_by(t, n);
+            sim.slab.set_kv_tokens(slot, t + n);
+            sim.slab.set_remaining(slot, sim.slab.remaining(slot) - n);
+            sim.slab.set_produced(slot, sim.slab.produced(slot) + n);
+        }
+        // Completions land at the stretch end, in ascending-id order —
+        // the same order a step-by-step run retires them in.
+        for &(id, slot) in &ids {
+            if sim.slab.remaining(slot) != 0 {
+                continue;
+            }
+            let produced = sim.slab.produced(slot);
+            let first_token_t = sim.slab.first_token_t(slot);
+            let kv_tokens = sim.slab.kv_tokens(slot);
+            let tpot = (sim.clock.now() - first_token_t) / usize_to_f64(produced - 1);
+            sim.tpot.record(tpot);
+            sim.active_remove(id);
+            let req = sim.slab.remove(slot);
+            let ttft_s = first_token_t - req.arrival_s;
+            sim.finished.push(FinishedRequest {
+                ttft_s,
+                tpot_s: Some(tpot),
+                output_tokens: produced,
+            });
+            sim.stats.remove(kv_tokens);
+            sim.kv.release(id)?;
+            sim.completed += 1;
+            sim.trace.span(
+                SpanKind::Request,
+                "request",
+                req.arrival_s,
+                sim.clock.now() - req.arrival_s,
+                Some(id),
+                &[
+                    ("output_tokens", usize_to_f64(produced)),
+                    ("ttft_s", ttft_s),
+                ],
+            );
+        }
+        sim.scratch_ids = ids;
+        Ok(true)
+    }
+
+    /// Trapezoid estimate of the wall time of `n` decode steps from the
+    /// current batch state: non-attention cost is batch-shaped (constant
+    /// over the stretch), attention cost is evaluated at the stretch's
+    /// first and last step and averaged.
+    fn stretch_time(&mut self, sim: &SimState, batch: usize, n: usize, attn_start: f64) -> f64 {
+        let mut end = sim.stats.clone();
+        for &(_, slot) in &sim.active {
+            end.grow_by(sim.slab.kv_tokens(slot), n);
+        }
+        let attn_end = self.attention.decode_cost_from_stats(&end, 0.0).time();
+        (self.nonattn_step_time(batch) + 0.5 * (attn_start + attn_end))
+            * usize_to_f64(n)
+            * sim.time_scale
     }
 
     /// Advance the simulation: execute every scheduler iteration that can
@@ -759,6 +1001,9 @@ impl ServingEngine {
             sim.promote_arrivals();
             if sim.clock.now() >= limit {
                 return Ok(());
+            }
+            if self.fast_forward && self.try_fast_forward(sim, limit)? {
+                continue;
             }
             if self.sim_step(sim)? {
                 continue;
@@ -1097,6 +1342,96 @@ mod tests {
         // The offline run drains the queue faster overall (closed system),
         // while the trickle run's span is arrival-dominated.
         assert!(relaxed.total_time_s > offline.total_time_s);
+    }
+
+    #[test]
+    fn fast_forward_preserves_counts_and_approximates_time() {
+        // Long steady generations: the analytic stretch covers almost the
+        // whole run. Counts must be exact; the trapezoid clock is allowed
+        // a small relative error against the step-by-step engine.
+        let reqs = SyntheticDataset::fixed(8, 128, 512);
+        let exact = engine(PagedBackend::GaudiOpt, 8).run(&reqs).unwrap();
+        let ff = engine(PagedBackend::GaudiOpt, 8)
+            .with_fast_forward(true)
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(ff.completed, exact.completed);
+        assert_eq!(ff.total_output_tokens, exact.total_output_tokens);
+        assert_eq!(ff.peak_batch, exact.peak_batch);
+        assert_eq!(ff.preemptions, exact.preemptions);
+        let ratio = ff.total_time_s / exact.total_time_s;
+        assert!((ratio - 1.0).abs() < 0.02, "time drift {ratio}");
+    }
+
+    #[test]
+    fn fast_forward_survives_preemption_pressure() {
+        // The capacity cap must stop every stretch before KV exhaustion;
+        // preemption then happens step-by-step, identically placed.
+        let reqs = SyntheticDataset::fixed(4, 256, 200);
+        let mk = || {
+            ServingEngine::new(
+                &Device::gaudi2(),
+                LlamaConfig::llama31_8b(),
+                1,
+                PagedBackend::GaudiOpt,
+                4,
+            )
+            .with_kv_blocks(12)
+        };
+        let exact = mk().run(&reqs).unwrap();
+        let ff = mk().with_fast_forward(true).run(&reqs).unwrap();
+        assert_eq!(ff.completed, exact.completed);
+        assert_eq!(ff.total_output_tokens, exact.total_output_tokens);
+        assert_eq!(ff.preemptions, exact.preemptions);
+        assert!(ff.preemptions > 0);
+    }
+
+    #[test]
+    fn fast_forward_respects_late_arrivals() {
+        // An arrival mid-generation must not be skipped over: the stretch
+        // stops at the arrival, the request is admitted, and everything
+        // completes.
+        let reqs = vec![
+            Request::new(0, 128, 400),
+            Request::new(1, 128, 64).with_arrival(0.5),
+        ];
+        let exact = engine(PagedBackend::GaudiOpt, 4).run(&reqs).unwrap();
+        let ff = engine(PagedBackend::GaudiOpt, 4)
+            .with_fast_forward(true)
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(ff.completed, 2);
+        assert_eq!(ff.total_output_tokens, exact.total_output_tokens);
+    }
+
+    #[test]
+    fn histogram_metrics_mode_preserves_counts_and_bounds_quantiles() {
+        use dcm_core::metrics::HISTOGRAM_MAX_RELATIVE_ERROR;
+        let reqs = SyntheticDataset::dynamic_sonnet(24, 7);
+        let exact = engine(PagedBackend::GaudiOpt, 8).run(&reqs).unwrap();
+        let hist = engine(PagedBackend::GaudiOpt, 8)
+            .with_metrics_mode(MetricsMode::Histogram)
+            .run(&reqs)
+            .unwrap();
+        // Counts, clock and means are mode-independent (sums are exact).
+        assert_eq!(hist.completed, exact.completed);
+        assert_eq!(hist.total_output_tokens, exact.total_output_tokens);
+        assert_eq!(hist.total_time_s, exact.total_time_s);
+        assert_eq!(hist.throughput_tps, exact.throughput_tps);
+        assert_eq!(hist.mean_ttft_s, exact.mean_ttft_s);
+        assert_eq!(hist.mean_tpot_s, exact.mean_tpot_s);
+        // Quantiles carry the documented relative-error bound.
+        for (h, e) in [
+            (hist.p50_ttft_s, exact.p50_ttft_s),
+            (hist.p99_ttft_s, exact.p99_ttft_s),
+            (hist.p50_tpot_s, exact.p50_tpot_s),
+            (hist.p99_tpot_s, exact.p99_tpot_s),
+        ] {
+            assert!(
+                (h - e).abs() <= HISTOGRAM_MAX_RELATIVE_ERROR * e.abs() + f64::EPSILON,
+                "histogram quantile {h} vs exact {e}"
+            );
+        }
     }
 
     #[test]

@@ -140,6 +140,50 @@ impl PagedKvCache {
         Ok(())
     }
 
+    /// Append `n` generated tokens to a sequence at once — the analytic
+    /// fast-forward's bulk path. Exactly equivalent to `n` successive
+    /// [`append_token`](Self::append_token) calls stopping at the first
+    /// error, including the count-before-fail accounting (the token that
+    /// found no block is still counted) and the block pop order.
+    ///
+    /// # Errors
+    /// Returns [`DcmError::InvalidConfig`] for unknown sequences or
+    /// [`DcmError::ResourceExhausted`] when the stretch outruns the free
+    /// blocks.
+    pub fn append_tokens(&mut self, id: SeqId, n: usize) -> Result<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        let start = self
+            .tokens_of(id)
+            .ok_or_else(|| DcmError::InvalidConfig(format!("unknown sequence {id}")))?;
+        let have = self.allocated[&id].len();
+        let target = start + n;
+        let extra = self.blocks_for(target).saturating_sub(have);
+        if extra > self.free.len() {
+            // Mirror the per-token loop's first failure: every free block
+            // was consumed on the way there, and the token that found none
+            // is counted.
+            let capacity_tokens = (have + self.free.len()) * self.block_tokens;
+            self.seq_tokens.insert(id, capacity_tokens + 1);
+            let blocks = std::mem::take(&mut self.free);
+            // dcm-lint: allow(P1) id verified live above
+            let alloc = self.allocated.get_mut(&id).expect("checked live");
+            alloc.extend(blocks.into_iter().rev()); // pop order
+            return Err(DcmError::ResourceExhausted(
+                "KV cache out of blocks".to_owned(),
+            ));
+        }
+        self.seq_tokens.insert(id, target);
+        if extra > 0 {
+            let from = self.free.len() - extra;
+            // dcm-lint: allow(P1) id verified live above
+            let alloc = self.allocated.get_mut(&id).expect("checked live");
+            alloc.extend(self.free.drain(from..).rev()); // pop order
+        }
+        Ok(())
+    }
+
     /// Release a completed sequence's blocks.
     ///
     /// # Errors
@@ -225,6 +269,37 @@ mod tests {
         c.release(1).unwrap();
         assert_eq!(c.free_blocks(), 10);
         assert_eq!(c.live_sequences(), 0);
+    }
+
+    #[test]
+    fn append_tokens_matches_repeated_append_token() {
+        // Success path: same counts, same block lists, same free list.
+        let mut bulk = PagedKvCache::new(10, 4);
+        let mut steps = bulk.clone();
+        bulk.admit(1, 6).unwrap();
+        steps.admit(1, 6).unwrap();
+        bulk.append_tokens(1, 7).unwrap();
+        for _ in 0..7 {
+            steps.append_token(1).unwrap();
+        }
+        assert_eq!(bulk, steps);
+        bulk.append_tokens(1, 0).unwrap();
+        assert_eq!(bulk, steps);
+        // Failure path: both stop at the first token that finds no block,
+        // with identical count-before-fail state.
+        let mut bulk = PagedKvCache::new(3, 4);
+        let mut steps = bulk.clone();
+        bulk.admit(1, 4).unwrap();
+        steps.admit(1, 4).unwrap();
+        assert!(matches!(
+            bulk.append_tokens(1, 100),
+            Err(DcmError::ResourceExhausted(_))
+        ));
+        while steps.append_token(1).is_ok() {}
+        assert_eq!(bulk, steps);
+        assert_eq!(bulk.tokens_of(1), Some(13)); // 3 blocks * 4 + 1
+                                                 // Unknown id.
+        assert!(bulk.append_tokens(9, 1).is_err());
     }
 
     #[test]

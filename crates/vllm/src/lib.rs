@@ -52,6 +52,7 @@ pub mod dataset;
 pub mod engine;
 pub mod fault;
 pub mod kv_cache;
+pub mod slab;
 
 pub use attention::{BatchStats, PagedAttention, PagedBackend};
 pub use block::{BlockList, BlockTable};
@@ -60,3 +61,4 @@ pub use dataset::{ArrivalProcess, Request, SyntheticDataset};
 pub use engine::{ServingEngine, ServingReport};
 pub use fault::{FaultEvent, FaultPlan, ResilienceConfig, ShedPolicy, SloSpec};
 pub use kv_cache::PagedKvCache;
+pub use slab::{SeqSlab, SlotId};

@@ -1,0 +1,161 @@
+//! Equivalence tests for the analytic fast-forward path: with
+//! `with_fast_forward(true)` the engine advances steady decode stretches
+//! in closed form, so wall-clock *timestamps* are approximate — but every
+//! *count* must be exact. Across randomized offline, online (seeded
+//! Poisson/bursty arrivals), preemption-pressure and seeded-fault
+//! workloads, the completed/shed/failed counts and the token totals of
+//! completed requests must be identical with fast-forward on and off.
+//! (The five exact-mode golden reports are pinned separately in
+//! `golden_serving.rs`; fast-forward is opt-in and never touches them.)
+
+use dcm_compiler::Device;
+use dcm_vllm::attention::PagedBackend;
+use dcm_vllm::cluster::{Cluster, RoutingPolicy};
+use dcm_vllm::dataset::{ArrivalProcess, Request, SyntheticDataset};
+use dcm_vllm::engine::ServingEngine;
+use dcm_vllm::fault::{FaultPlan, ResilienceConfig};
+use dcm_workloads::llama::LlamaConfig;
+use proptest::prelude::*;
+
+fn engine(max_batch: usize, kv_blocks: Option<usize>, fast_forward: bool) -> ServingEngine {
+    let e = ServingEngine::new(
+        &Device::gaudi2(),
+        LlamaConfig::llama31_8b(),
+        1,
+        PagedBackend::GaudiOpt,
+        max_batch,
+    )
+    .with_fast_forward(fast_forward);
+    match kv_blocks {
+        Some(b) => e.with_kv_blocks(b),
+        None => e,
+    }
+}
+
+/// Run the trace with fast-forward off and on; assert count equivalence
+/// and bounded clock drift.
+fn assert_equivalent(reqs: &[Request], max_batch: usize, kv_blocks: Option<usize>) {
+    let exact = engine(max_batch, kv_blocks, false).run(reqs).unwrap();
+    let ff = engine(max_batch, kv_blocks, true).run(reqs).unwrap();
+    assert_eq!(ff.completed, exact.completed, "completed count");
+    assert_eq!(
+        ff.total_output_tokens, exact.total_output_tokens,
+        "token totals"
+    );
+    assert_eq!(ff.shed, exact.shed);
+    assert_eq!(ff.failed, exact.failed);
+    assert_eq!(ff.preemptions, exact.preemptions, "preemption placement");
+    assert_eq!(ff.peak_batch, exact.peak_batch);
+    if exact.total_time_s > 0.0 {
+        let drift = (ff.total_time_s / exact.total_time_s - 1.0).abs();
+        assert!(drift < 0.05, "clock drift {drift} exceeds 5%");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Offline traces (the paper's Figure 17 setup) across random sizes,
+    /// batch caps and generation lengths.
+    #[test]
+    fn offline_counts_are_identical(
+        n in 1usize..24,
+        seed in 0u64..1000,
+        max_batch in 1usize..12,
+    ) {
+        let reqs = SyntheticDataset::dynamic_sonnet(n, seed);
+        assert_equivalent(&reqs, max_batch, None);
+    }
+
+    /// Online traces with seeded Poisson and bursty arrival processes:
+    /// the stretch must stop at every arrival.
+    #[test]
+    fn online_arrival_counts_are_identical(
+        n in 1usize..20,
+        seed in 0u64..1000,
+        rate_x10 in 1u32..200,
+        bursty in 0u8..2,
+    ) {
+        let rate_rps = f64::from(rate_x10) / 10.0;
+        let process = if bursty == 0 {
+            ArrivalProcess::Poisson { rate_rps }
+        } else {
+            ArrivalProcess::Bursty { rate_rps, burst: 4 }
+        };
+        let reqs = SyntheticDataset::dynamic_sonnet_online(n, seed, &process);
+        assert_equivalent(&reqs, 8, None);
+    }
+
+    /// Tight KV caches force preemptions; the capacity cap must stop
+    /// every stretch before exhaustion so preemptions land identically.
+    #[test]
+    fn preemption_pressure_counts_are_identical(
+        n in 2usize..8,
+        gen in 50usize..300,
+        blocks in 6usize..20,
+    ) {
+        // Bounded request shape (256-token prompt, ≤300-token generation)
+        // so even the smallest cache fits one request — the pressure comes
+        // from concurrency, forcing mid-run preemptions.
+        let reqs = SyntheticDataset::fixed(n, 256, gen);
+        assert_equivalent(&reqs, 4, Some(blocks));
+    }
+}
+
+/// Seeded fault + arrival workload on a cluster: a replica crashes and
+/// recovers mid-run; every displaced request is retried to completion in
+/// both modes, so completed/shed/failed and completed-token totals are
+/// trace-determined and must match exactly.
+#[test]
+fn seeded_fault_cluster_counts_are_identical() {
+    let reqs = SyntheticDataset::dynamic_sonnet_online(
+        24,
+        17,
+        &ArrivalProcess::Poisson { rate_rps: 10.0 },
+    );
+    let expected_tokens: usize = reqs.iter().map(|r| r.output_len).sum();
+    let plan = FaultPlan::none()
+        .with_recovering_crash(1, 1.0, 3.0)
+        .with_slowdown(0, 0.5, 1.5, 2.0);
+    let cfg = ResilienceConfig::default();
+    let run = |fast_forward: bool| {
+        let replicas: Vec<ServingEngine> = (0..3).map(|_| engine(4, None, fast_forward)).collect();
+        let mut cluster = Cluster::new(replicas, RoutingPolicy::JoinShortestQueue);
+        cluster.run_resilient(&reqs, &plan, &cfg).unwrap()
+    };
+    let exact = run(false);
+    let ff = run(true);
+    assert_eq!(ff.serving.completed, exact.serving.completed);
+    assert_eq!(ff.serving.completed, 24, "every request must complete");
+    assert_eq!(ff.serving.shed, exact.serving.shed);
+    assert_eq!(ff.serving.failed, exact.serving.failed);
+    assert_eq!(ff.serving.shed, 0);
+    assert_eq!(ff.serving.failed, 0);
+    // Completed-token totals are trace-determined: output tokens minus
+    // crash-lost (re-generated) tokens is exactly the completed volume.
+    assert_eq!(
+        ff.serving.total_output_tokens - ff.serving.lost_tokens,
+        expected_tokens
+    );
+    assert_eq!(
+        exact.serving.total_output_tokens - exact.serving.lost_tokens,
+        expected_tokens
+    );
+}
+
+/// Fast-forward composes with histogram metrics — the million-request
+/// configuration — without disturbing any count.
+#[test]
+fn fast_forward_with_histogram_metrics_preserves_counts() {
+    use dcm_core::metrics::MetricsMode;
+    let reqs = SyntheticDataset::fixed(16, 128, 256);
+    let exact = engine(8, None, false).run(&reqs).unwrap();
+    let both = {
+        let mut e = engine(8, None, true).with_metrics_mode(MetricsMode::Histogram);
+        e.run(&reqs).unwrap()
+    };
+    assert_eq!(both.completed, exact.completed);
+    assert_eq!(both.total_output_tokens, exact.total_output_tokens);
+    assert_eq!(both.peak_batch, exact.peak_batch);
+    assert!(both.mean_ttft_s.is_finite() && both.p99_tpot_s.is_finite());
+}

@@ -1,0 +1,149 @@
+//! Property tests for the fixed-bin log-histogram latency recorder: its
+//! quantiles must track exact stored-sample percentiles within the
+//! documented relative-error bound
+//! ([`HISTOGRAM_MAX_RELATIVE_ERROR`] = 2^-7, from 11 exponent + 6
+//! sub-bin mantissa bits) across every scale the simulator produces —
+//! sub-millisecond TTFTs to hour-long spans — and its bin assignment
+//! must be a pure function of the sample's IEEE-754 bits (the
+//! determinism the DCM reports rely on).
+
+use dcm_core::metrics::{LatencyRecorder, LogHistogram, MetricsMode, HISTOGRAM_MAX_RELATIVE_ERROR};
+use proptest::prelude::*;
+
+/// Decode `(pool, mantissa)` into a positive sample in one of the scale
+/// regimes the serving simulator actually records: sub-ms TTFT, seconds,
+/// kiloseconds, and a wide mixed range.
+fn decode_sample(pool: u8, raw: u32) -> f64 {
+    let unit = f64::from(raw) / f64::from(u32::MAX); // [0, 1]
+    match pool % 4 {
+        0 => 1e-6 + unit * 1e-3,         // sub-millisecond TTFT regime
+        1 => 1e-3 + unit,                // typical latencies
+        2 => 1.0 + unit * 3600.0,        // long spans
+        _ => 1e-9 * (unit * 1e15 + 1.0), // nine decades, mixed
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Histogram quantiles stay within the proven relative-error bound of
+    /// the exact stored-sample percentile at every probed percentile.
+    #[test]
+    fn quantiles_stay_within_documented_bound(
+        samples in proptest::collection::vec((0u8..4, 0u32..u32::MAX), 1..400),
+        p_raw in 0u32..10_000,
+    ) {
+        let mut exact = LatencyRecorder::new();
+        let mut hist = LatencyRecorder::with_mode(MetricsMode::Histogram);
+        for &(pool, raw) in &samples {
+            let s = decode_sample(pool, raw);
+            exact.record(s);
+            hist.record(s);
+        }
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0, f64::from(p_raw) / 100.0] {
+            let e = exact.quantile(p);
+            let h = hist.quantile(p);
+            prop_assert!(
+                (h - e).abs() <= HISTOGRAM_MAX_RELATIVE_ERROR * e.abs(),
+                "p{}: histogram {} vs exact {} (rel err {})",
+                p, h, e, ((h - e) / e).abs()
+            );
+        }
+        // Count, mean, min and max are exact in both modes.
+        prop_assert_eq!(exact.count(), hist.count());
+        prop_assert_eq!(exact.mean(), hist.mean());
+        prop_assert_eq!(exact.max(), hist.max());
+    }
+
+    /// Bin assignment is a pure function of the sample bits: re-recording
+    /// the same samples (in any order) yields byte-identical bins, and
+    /// each sample's bin bounds actually contain it.
+    #[test]
+    fn bin_assignment_is_deterministic_and_covering(
+        samples in proptest::collection::vec((0u8..4, 0u32..u32::MAX), 1..200),
+        rot in 0usize..200,
+    ) {
+        let values: Vec<f64> = samples
+            .iter()
+            .map(|&(pool, raw)| decode_sample(pool, raw))
+            .collect();
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for &v in &values {
+            a.record(v);
+        }
+        // Same multiset, rotated insertion order.
+        let k = rot % values.len();
+        for &v in values[k..].iter().chain(values[..k].iter()) {
+            b.record(v);
+        }
+        prop_assert_eq!(a.nonempty_bins(), b.nonempty_bins());
+        for &v in &values {
+            let idx = LogHistogram::bin_index(v);
+            prop_assert_eq!(idx, LogHistogram::bin_index(v));
+            let (lo, hi) = LogHistogram::bin_bounds(idx);
+            prop_assert!(lo <= v && v < hi, "sample {} outside bin [{}, {})", v, lo, hi);
+            // The bin's relative width is what bounds the quantile error.
+            let rep = 0.5 * (lo + hi);
+            prop_assert!(
+                (rep - v).abs() <= HISTOGRAM_MAX_RELATIVE_ERROR * v,
+                "midpoint {} strays more than the bound from {}", rep, v
+            );
+        }
+    }
+
+    /// Merging histogram recorders is exact: the merged quantile equals
+    /// the quantile of one recorder fed both sample streams.
+    #[test]
+    fn merge_equals_single_feed(
+        xs in proptest::collection::vec((0u8..4, 0u32..u32::MAX), 1..120),
+        ys in proptest::collection::vec((0u8..4, 0u32..u32::MAX), 1..120),
+    ) {
+        let mut merged_a = LatencyRecorder::with_mode(MetricsMode::Histogram);
+        let mut merged_b = LatencyRecorder::with_mode(MetricsMode::Histogram);
+        let mut single = LatencyRecorder::with_mode(MetricsMode::Histogram);
+        for &(pool, raw) in &xs {
+            let s = decode_sample(pool, raw);
+            merged_a.record(s);
+            single.record(s);
+        }
+        for &(pool, raw) in &ys {
+            let s = decode_sample(pool, raw);
+            merged_b.record(s);
+            single.record(s);
+        }
+        merged_a.merge(&merged_b);
+        prop_assert_eq!(merged_a.count(), single.count());
+        for p in [0.0, 50.0, 95.0, 99.0, 100.0] {
+            prop_assert_eq!(
+                merged_a.quantile(p).to_bits(),
+                single.quantile(p).to_bits(),
+                "p{} diverged after merge", p
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_and_singleton_edge_cases_are_exact() {
+    // A singleton is exact at every percentile: the representative is
+    // clamped to the observed [min, max].
+    let mut h = LatencyRecorder::with_mode(MetricsMode::Histogram);
+    let ttft = 0.000_731_5; // sub-millisecond
+    h.record(ttft);
+    for p in [0.0, 50.0, 99.0, 100.0] {
+        assert_eq!(h.quantile(p), ttft);
+    }
+    // Zeros live in a dedicated exact bin below every positive sample.
+    let mut z = LatencyRecorder::with_mode(MetricsMode::Histogram);
+    z.record(0.0);
+    z.record(0.0);
+    z.record(1.0);
+    assert_eq!(z.quantile(0.0), 0.0);
+    assert_eq!(z.quantile(50.0), 0.0);
+    assert_eq!(z.quantile(100.0), 1.0);
+    // Empty recorder: quantiles are 0, like the exact mode.
+    let empty = LatencyRecorder::with_mode(MetricsMode::Histogram);
+    assert_eq!(empty.quantile(50.0), 0.0);
+    assert_eq!(empty.count(), 0);
+}

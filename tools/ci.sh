@@ -56,4 +56,21 @@ for csv in ext_hetero_p99_ttft.csv ext_hetero_throughput.csv ext_hetero_requests
 done
 echo "==> determinism OK"
 
+# Differential suite under an explicit 2-thread override: the wheel-vs-
+# heap, slab-vs-map, histogram and fast-forward equivalence properties
+# plus the steady-state allocation audit must hold regardless of the
+# parallelism the host advertises.
+echo "==> differential suite (DCM_THREADS=2)"
+DCM_THREADS=2 cargo test -q -p dcm-tests \
+    --test prop_queue_diff --test prop_slab_diff --test prop_histogram \
+    --test prop_fast_forward --test alloc_steady_state
+
+# Perf-regression gate: re-measure and compare against the checked-in
+# results/BENCH_dcm.json with tolerance bands (see perf_report's doc
+# comment). Skips the sweep-parallelism band on 1-core boxes and the
+# throughput bands under DCM_SMOKE; writes results/BENCH_dcm.check.json
+# so the baseline itself is never touched.
+echo "==> perf gate: perf_report --check vs results/BENCH_dcm.json"
+cargo run -q --release -p dcm-bench --bin perf_report -- --check
+
 echo "==> ci OK"
