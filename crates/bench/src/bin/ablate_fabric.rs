@@ -11,7 +11,7 @@ use dcm_compiler::Device;
 use dcm_core::metrics::Table;
 use dcm_core::specs::FabricSpec;
 use dcm_core::DeviceSpec;
-use dcm_net::{Collective, CollectiveModel};
+use dcm_net::{Collective, CollectiveModel, FlowTransport};
 use dcm_workloads::llama::{LlamaConfig, LlamaServer};
 
 fn switched_gaudi() -> DeviceSpec {
@@ -68,8 +68,42 @@ fn main() {
         ]);
     }
     print!("{}", e.render());
+
+    // Emergent extension of the ablation: the closed form assumes an
+    // idle fabric, so it cannot rank the two topologies under load. The
+    // flow-level transport can: pile background elephants onto device
+    // 0's links and watch how each fabric degrades. The mesh isolates
+    // the damage to the 0<->1 pair links; the switch funnels every flow
+    // out of device 0 through one shared uplink.
+    let flow_stock = FlowTransport::new(&DeviceSpec::gaudi2());
+    let flow_sw = FlowTransport::new(&switched_gaudi());
+    let payload: u64 = if dcm_bench::smoke() {
+        2 << 20
+    } else {
+        32 << 20
+    };
+    let mut g = Table::new(
+        "emergent AllReduce slowdown at 8 devices under background elephants",
+        &["bg flows from dev 0", "Gaudi-2 (P2P)", "Gaudi-2+switch"],
+    );
+    let bg_all: Vec<(usize, usize, u64)> = (1..=4).map(|d| (0usize, d, 4 * payload)).collect();
+    for k in [0usize, 1, 2, 4] {
+        let slowdown = |flow: &FlowTransport| {
+            let idle = flow.time(Collective::AllReduce, payload, 8);
+            let (busy, _) = flow.contended_time(Collective::AllReduce, payload, 8, &bg_all[..k]);
+            busy / idle
+        };
+        g.push(&[
+            k.to_string(),
+            format!("{:.2}x", slowdown(&flow_stock)),
+            format!("{:.2}x", slowdown(&flow_sw)),
+        ]);
+    }
+    print!("{}", g.render());
     println!(
         "\nconclusion: a switch helps most at 2-4 devices, where the P2P mesh\n\
-         strands 5/7 of its links — exactly the paper's KT#4 diagnosis."
+         strands 5/7 of its links — exactly the paper's KT#4 diagnosis. Under\n\
+         background load the ranking tightens: the mesh confines interference\n\
+         to the contended pair links, while the switch shares device uplinks."
     );
 }

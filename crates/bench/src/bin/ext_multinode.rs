@@ -8,7 +8,7 @@
 
 use dcm_bench::banner;
 use dcm_core::metrics::Table;
-use dcm_net::MultiNodeModel;
+use dcm_net::{MultiNodeFlowTransport, MultiNodeModel};
 use dcm_workloads::training::{cluster_tokens_per_second, TrainingConfig};
 
 fn main() {
@@ -42,6 +42,53 @@ fn main() {
         ]);
     }
     print!("{}", ar.render());
+
+    // Emergent cross-check: replay the gradient all-reduce on the
+    // flow-level transport (intra-node flows + simulated inter-node ring
+    // on each device's scale-out rail). The hierarchical schedule is
+    // constructed to match the closed form, so deviation here means the
+    // fabric layers drifted from the spec.
+    let em_nodes: &[usize] = if dcm_bench::smoke() {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 16, 64]
+    };
+    let mut em = Table::new(
+        "16 GB gradient all-reduce (ms): closed form vs emergent fabric",
+        &[
+            "nodes",
+            "Gaudi-2 spec",
+            "Gaudi-2 flow",
+            "A100 spec",
+            "A100 flow",
+        ],
+    );
+    let em_rows = dcm_bench::sweep(em_nodes, |&nodes| {
+        (
+            MultiNodeModel::new(gaudi.spec(), nodes).allreduce_time(16 << 30) * 1e3,
+            MultiNodeFlowTransport::new(gaudi.spec(), nodes).allreduce_time(16 << 30) * 1e3,
+            MultiNodeModel::new(a100.spec(), nodes).allreduce_time(16 << 30) * 1e3,
+            MultiNodeFlowTransport::new(a100.spec(), nodes).allreduce_time(16 << 30) * 1e3,
+        )
+    });
+    let mut worst_dev = 0.0f64;
+    for (&nodes, &(gs, gf, as_, af)) in em_nodes.iter().zip(&em_rows) {
+        worst_dev = worst_dev
+            .max((gf / gs - 1.0).abs())
+            .max((af / as_ - 1.0).abs());
+        em.push(&[
+            nodes.to_string(),
+            format!("{gs:.0}"),
+            format!("{gf:.0}"),
+            format!("{as_:.0}"),
+            format!("{af:.0}"),
+        ]);
+    }
+    print!("{}", em.render());
+    println!(
+        "  worst emergent-vs-spec deviation: {:.4}%",
+        worst_dev * 100.0
+    );
 
     // End-to-end training throughput.
     let cfg = TrainingConfig::llama8b_node();

@@ -42,6 +42,8 @@
 
 use dcm_core::cast::usize_to_f64;
 use dcm_core::metrics::MetricsMode;
+use dcm_core::DeviceSpec;
+use dcm_net::{Collective, FlowTransport, MultiNodeFlowTransport};
 use dcm_vllm::attention::{BatchStats, PagedAttention, PagedBackend};
 use dcm_vllm::cluster::{Cluster, RoutingPolicy};
 use dcm_vllm::dataset::{ArrivalProcess, SyntheticDataset};
@@ -294,6 +296,42 @@ fn bench_sweep() -> SweepTiming {
     }
 }
 
+struct FabricTiming {
+    collective_us: f64,
+    multinode_us: f64,
+}
+
+/// Cost of one emergent-fabric evaluation: a full flow-level AllReduce
+/// on the 8-device mesh, and a hierarchical 16-node all-reduce. Each
+/// call builds a topology, schedules the flow DAG and runs the fluid
+/// simulation to completion — the number that bounds how freely bench
+/// sweeps can call into the emergent layer.
+fn bench_fabric() -> FabricTiming {
+    let iters = if dcm_bench::smoke() { 20 } else { 200 };
+    let spec = DeviceSpec::gaudi2();
+    let (coll_s, coll_acc) = median_time_s(timing_reps(), || {
+        let transport = FlowTransport::new(&spec);
+        let mut acc = 0.0_f64;
+        for _ in 0..iters {
+            acc += transport.time(Collective::AllReduce, 32 << 20, 8);
+        }
+        acc
+    });
+    let (multi_s, multi_acc) = median_time_s(timing_reps(), || {
+        let transport = MultiNodeFlowTransport::new(&spec, 16);
+        let mut acc = 0.0_f64;
+        for _ in 0..iters {
+            acc += transport.allreduce_time(1 << 30);
+        }
+        acc
+    });
+    assert!(coll_acc > 0.0 && multi_acc > 0.0, "fabric produced no time");
+    FabricTiming {
+        collective_us: coll_s / usize_to_f64(iters) * 1e6,
+        multinode_us: multi_s / usize_to_f64(iters) * 1e6,
+    }
+}
+
 fn safe_div(a: f64, b: f64) -> f64 {
     if b > 0.0 {
         a / b
@@ -361,6 +399,7 @@ struct Measured {
     cluster: EngineRun,
     engine_ff: EngineRun,
     sweep: SweepTiming,
+    fabric: FabricTiming,
     host_parallelism: usize,
 }
 
@@ -444,6 +483,26 @@ fn check_against_baseline(m: &Measured, baseline: &str) -> Vec<String> {
         println!("  skip throughput bands: smoke mode differs from baseline");
     }
 
+    // Fabric costing: ns/call-scale like decode costing, so the band
+    // applies in every mode. Guarded on the section existing so a
+    // baseline regenerated before the fabric landed still gates the rest.
+    if let Some(base_us) =
+        json_section(baseline, "fabric").and_then(|s| json_number(s, "collective_us_per_call"))
+    {
+        checked += 1;
+        let line = format!(
+            "fabric AllReduce: {:.1} us/call vs baseline {base_us:.1}",
+            m.fabric.collective_us
+        );
+        if m.fabric.collective_us > base_us * CHECK_BAND {
+            failures.push(format!("FAIL {line} (band {CHECK_BAND}x)"));
+        } else {
+            println!("  ok   {line}");
+        }
+    } else {
+        println!("  skip fabric band: baseline predates the fabric section");
+    }
+
     // Sweep parallelism: a 1-core box measures ~1.0x by construction, so
     // only compare when both the baseline host and this host have cores
     // to scale onto.
@@ -520,6 +579,11 @@ fn render_json(m: &Measured) -> String {
         m.engine_ff.tokens_per_wall_s(),
         m.engine_ff.requests_per_wall_s(),
         m.engine_ff.tokens_per_wall_s() / PR4_OFFLINE_TOKENS_PER_WALL_S,
+    );
+    let _ = writeln!(
+        j,
+        "  \"fabric\": {{\"collective_us_per_call\": {:.2}, \"multinode_us_per_call\": {:.2}}},",
+        m.fabric.collective_us, m.fabric.multinode_us,
     );
     let _ = writeln!(
         j,
@@ -602,6 +666,13 @@ fn main() {
         safe_div(sweep.serial_s, sweep.parallel_s),
     );
 
+    let fabric = bench_fabric();
+    println!(
+        "emergent fabric: AllReduce {:.1} us/call (8-dev mesh, 32 MB), \
+         hierarchical all-reduce {:.1} us/call (16 nodes, 1 GB)",
+        fabric.collective_us, fabric.multinode_us,
+    );
+
     let host_parallelism =
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let measured = Measured {
@@ -610,6 +681,7 @@ fn main() {
         cluster,
         engine_ff,
         sweep,
+        fabric,
         host_parallelism,
     };
 

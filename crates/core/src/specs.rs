@@ -235,6 +235,25 @@ impl FabricSpec {
     }
 }
 
+/// Scale-out networking of one device: the NIC rail that faces the
+/// *inter-node* cluster network, as opposed to the in-node [`FabricSpec`].
+///
+/// §2.1 / §5 of the paper: each Gaudi-2 dedicates 3 of its 24 RoCE ports
+/// to scale-out (the other 21 wire the in-node mesh), while each DGX A100
+/// GPU drives one HDR200 InfiniBand NIC. These used to be hard-coded in
+/// `dcm-net`; carrying them on the spec means a new preset (Gaudi-3,
+/// future silicon) gets a scale-out fabric for free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleOutSpec {
+    /// Unidirectional per-device scale-out bandwidth in bytes/s (line
+    /// rate, before `efficiency`).
+    pub bps_per_device: f64,
+    /// Per-step software/NIC latency on the scale-out path in seconds.
+    pub alpha_s: f64,
+    /// Sustained fraction of line rate on the scale-out links.
+    pub efficiency: f64,
+}
+
 /// Power envelope of the device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PowerSpec {
@@ -265,6 +284,8 @@ pub struct DeviceSpec {
     pub memory: MemorySpec,
     /// Node-level fabric.
     pub fabric: FabricSpec,
+    /// Inter-node scale-out rail of each device.
+    pub scale_out: ScaleOutSpec,
     /// Devices per server node (8 for both HLS-Gaudi-2 and DGX A100).
     pub devices_per_node: usize,
     /// Power envelope.
@@ -319,6 +340,12 @@ impl DeviceSpec {
                 links_per_pair: 3,
                 // 100 GbE per link, unidirectional, in bytes/s.
                 link_bps: 100.0e9 / 8.0,
+            },
+            scale_out: ScaleOutSpec {
+                // The 3 remaining RoCE ports of each Gaudi-2: 3×100 GbE.
+                bps_per_device: 3.0 * 100.0e9 / 8.0,
+                alpha_s: 10.0e-6,
+                efficiency: 0.85,
             },
             devices_per_node: 8,
             power: PowerSpec {
@@ -376,6 +403,12 @@ impl DeviceSpec {
                 // 200 GbE per link.
                 link_bps: 200.0e9 / 8.0,
             },
+            scale_out: ScaleOutSpec {
+                // Gaudi-3 keeps the 21/3 port split at 200 GbE per port.
+                bps_per_device: 3.0 * 200.0e9 / 8.0,
+                alpha_s: 10.0e-6,
+                efficiency: 0.85,
+            },
             devices_per_node: 8,
             power: PowerSpec {
                 tdp_watts: 900.0,
@@ -429,6 +462,12 @@ impl DeviceSpec {
             fabric: FabricSpec::Switched {
                 // NVLink 600 GB/s bidirectional = 300 GB/s per direction.
                 per_device_bps: 300.0e9,
+            },
+            scale_out: ScaleOutSpec {
+                // One HDR200 InfiniBand NIC per GPU on the DGX.
+                bps_per_device: 200.0e9 / 8.0,
+                alpha_s: 10.0e-6,
+                efficiency: 0.85,
             },
             devices_per_node: 8,
             power: PowerSpec {

@@ -104,29 +104,20 @@ impl fmt::Display for Collective {
 /// Per-step software/NIC latency (the α term) and sustained link
 /// efficiency, by fabric type.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-struct FabricTuning {
-    alpha_s: f64,
-    efficiency: f64,
+pub(crate) struct FabricTuning {
+    pub(crate) alpha_s: f64,
+    pub(crate) efficiency: f64,
     /// Extra penalty for Broadcast on fabrics without hardware multicast
     /// (a P2P mesh root must feed each peer separately).
-    broadcast_efficiency: f64,
+    pub(crate) broadcast_efficiency: f64,
 }
 
-/// Collective-communication timing model for one node (HCCL on the mesh,
-/// NCCL on the switch).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct CollectiveModel {
-    name: String,
-    fabric: FabricSpec,
-    total_devices: usize,
-    tuning: FabricTuning,
-}
-
-impl CollectiveModel {
-    /// Build the model from a device spec.
-    #[must_use]
-    pub fn new(spec: &DeviceSpec) -> Self {
-        let tuning = match spec.fabric {
+impl FabricTuning {
+    /// Tuning constants for one fabric type. Shared between the
+    /// closed-form [`CollectiveModel`] and the flow-level transport so
+    /// the two stay calibrated against the same α/efficiency numbers.
+    pub(crate) fn for_fabric(fabric: &FabricSpec) -> Self {
+        match fabric {
             // RoCE: higher per-message latency, but direct links sustain a
             // slightly higher fraction of line rate at large messages —
             // Figure 10 shows Gaudi-2 leading in 5 of 6 collectives when
@@ -143,12 +134,44 @@ impl CollectiveModel {
                 efficiency: 0.80,
                 broadcast_efficiency: 1.0,
             },
-        };
+        }
+    }
+}
+
+/// Collective-communication timing model for one node (HCCL on the mesh,
+/// NCCL on the switch).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveModel {
+    name: String,
+    fabric: FabricSpec,
+    total_devices: usize,
+    tuning: FabricTuning,
+}
+
+impl CollectiveModel {
+    /// Build the model from a device spec.
+    #[must_use]
+    pub fn new(spec: &DeviceSpec) -> Self {
         CollectiveModel {
             name: format!("{} node", spec.name),
             fabric: spec.fabric.clone(),
             total_devices: spec.devices_per_node,
-            tuning,
+            tuning: FabricTuning::for_fabric(&spec.fabric),
+        }
+    }
+
+    /// The fabric this model was built for.
+    pub(crate) fn fabric_spec(&self) -> &FabricSpec {
+        &self.fabric
+    }
+
+    /// Latency steps the α term charges for `coll` with `participants`
+    /// devices: exchange phases on the direct mesh, tree depth on the
+    /// switch.
+    pub(crate) fn latency_steps(&self, coll: Collective, participants: usize) -> usize {
+        match self.fabric {
+            FabricSpec::P2pMesh { .. } => coll.direct_phases(),
+            FabricSpec::Switched { .. } => coll.steps(participants),
         }
     }
 
@@ -166,8 +189,15 @@ impl CollectiveModel {
 
     /// Usable unidirectional per-device bandwidth with `participants`
     /// devices active, after protocol efficiency.
+    ///
+    /// A collective needs at least two participants to move bytes between
+    /// devices, so `participants <= 1` returns `0.0` (no peer links are
+    /// active) — never NaN or infinity.
     #[must_use]
     pub fn effective_bandwidth(&self, coll: Collective, participants: usize) -> f64 {
+        if participants <= 1 {
+            return 0.0;
+        }
         let raw = self
             .fabric
             .usable_bandwidth(participants, self.total_devices);
@@ -182,53 +212,79 @@ impl CollectiveModel {
     /// Wall time of `coll` over `bytes` payload per device with
     /// `participants` devices.
     ///
+    /// Degenerate inputs are no-ops: `participants <= 1` (nothing to
+    /// exchange) and `bytes == 0` (empty payload) return `0.0` — never
+    /// NaN or infinity. Collective libraries treat both as immediate
+    /// completion, and the flow-level transport inherits this contract.
+    ///
     /// # Panics
-    /// Panics if `participants` is not in `2..=total_devices` or `bytes`
-    /// is zero.
+    /// Panics if `participants` exceeds `total_devices`.
     #[must_use]
     pub fn time(&self, coll: Collective, bytes: u64, participants: usize) -> f64 {
         assert!(
-            (2..=self.total_devices).contains(&participants),
-            "participants {participants} out of 2..={}",
+            participants <= self.total_devices,
+            "participants {participants} exceeds node size {}",
             self.total_devices
         );
-        assert!(bytes > 0, "payload must be non-empty");
+        if participants <= 1 || bytes == 0 {
+            return 0.0;
+        }
         let bw = self.effective_bandwidth(coll, participants);
         let beta = bytes as f64 * coll.traffic_factor(participants) / bw;
         // The P2P mesh runs *direct* algorithms (every pair wired), so its
         // latency term counts exchange phases, not ring hops — one of the
         // few latency advantages of the HLS-Gaudi-2 topology.
-        let steps = match self.fabric {
-            FabricSpec::P2pMesh { .. } => coll.direct_phases(),
-            FabricSpec::Switched { .. } => coll.steps(participants),
-        };
+        let steps = self.latency_steps(coll, participants);
         let alpha = steps as f64 * self.tuning.alpha_s;
         alpha + beta
     }
 
-    /// Algorithm bandwidth: payload bytes over wall time.
+    /// Algorithm bandwidth: payload bytes over wall time. Degenerate
+    /// inputs (`participants <= 1` or `bytes == 0`) return `0.0`: a no-op
+    /// moves no bytes across the fabric.
     #[must_use]
     pub fn alg_bandwidth(&self, coll: Collective, bytes: u64, participants: usize) -> f64 {
-        bytes as f64 / self.time(coll, bytes, participants)
+        let t = self.time(coll, bytes, participants);
+        if t <= 0.0 {
+            return 0.0;
+        }
+        dcm_core::cast::u64_to_f64(bytes) / t
     }
 
     /// Bus bandwidth per NCCL-tests: `algbw * bus_factor` [62].
+    /// Degenerate inputs return `0.0` (the bus factor is only defined for
+    /// `n >= 2`).
     #[must_use]
     pub fn bus_bandwidth(&self, coll: Collective, bytes: u64, participants: usize) -> f64 {
+        if participants <= 1 {
+            return 0.0;
+        }
         self.alg_bandwidth(coll, bytes, participants) * coll.bus_factor(participants)
     }
 
     /// Bus-bandwidth utilization: bus bandwidth over the node's full
-    /// per-device bandwidth (the y-axis of Figure 10).
+    /// per-device bandwidth (the y-axis of Figure 10). Degenerate inputs
+    /// return `0.0`.
     #[must_use]
     pub fn bus_utilization(&self, coll: Collective, bytes: u64, participants: usize) -> f64 {
         self.bus_bandwidth(coll, bytes, participants)
             / self.fabric.full_bandwidth(self.total_devices)
     }
 
-    /// Lift a collective into an [`OpCost`] (network engine).
+    /// Lift a collective into an [`OpCost`] (network engine). Degenerate
+    /// inputs produce a zero-cost op.
     #[must_use]
     pub fn cost(&self, coll: Collective, bytes: u64, participants: usize) -> OpCost {
+        if participants <= 1 || bytes == 0 {
+            return OpCost {
+                engine: Engine::Network,
+                compute_s: 0.0,
+                memory_s: 0.0,
+                flops: 0.0,
+                bus_bytes: 0,
+                useful_bytes: bytes,
+            };
+        }
         let t = self.time(coll, bytes, participants);
         let moved = (bytes as f64 * coll.traffic_factor(participants)) as u64;
         OpCost {
@@ -356,9 +412,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "participants")]
-    fn single_participant_rejected() {
-        let _ = gaudi().time(Collective::AllReduce, 1024, 1);
+    fn degenerate_inputs_are_noops() {
+        // participants <= 1 and bytes == 0 are no-op collectives: zero
+        // time, zero bandwidth, zero bus traffic — never NaN/inf.
+        for model in [gaudi(), a100()] {
+            for coll in Collective::ALL {
+                for (bytes, parts) in [(1024u64, 0usize), (1024, 1), (0, 8), (0, 1)] {
+                    let t = model.time(coll, bytes, parts);
+                    assert_eq!(t.to_bits(), 0.0f64.to_bits(), "{coll} {bytes}B n={parts}");
+                    for v in [
+                        model.effective_bandwidth(coll, parts.min(1)),
+                        model.alg_bandwidth(coll, bytes, parts),
+                        model.bus_bandwidth(coll, bytes, parts),
+                        model.bus_utilization(coll, bytes, parts),
+                    ] {
+                        assert!(v.is_finite(), "{coll}: non-finite {v}");
+                        assert_eq!(v.to_bits(), 0.0f64.to_bits(), "{coll}: {v}");
+                    }
+                    let c = model.cost(coll, bytes, parts);
+                    assert_eq!(c.bus_bytes, 0);
+                    assert_eq!(c.compute_s.to_bits(), 0.0f64.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds node size")]
+    fn oversubscribed_participants_rejected() {
+        let _ = gaudi().time(Collective::AllReduce, 1024, 9);
     }
 
     #[test]

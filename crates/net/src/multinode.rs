@@ -16,14 +16,8 @@
 //! its own scale-out links — rail-optimized), then intra-node all-gather.
 
 use crate::collective::{Collective, CollectiveModel};
-use dcm_core::specs::DeviceSpec;
+use dcm_core::specs::{DeviceSpec, ScaleOutSpec};
 use serde::{Deserialize, Serialize};
-
-/// Per-step latency of the scale-out network (switched Ethernet / IB).
-const INTER_NODE_ALPHA_S: f64 = 10.0e-6;
-
-/// Sustained fraction of line rate on the scale-out links.
-const INTER_NODE_EFFICIENCY: f64 = 0.85;
 
 /// A cluster of identical nodes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,30 +25,26 @@ pub struct MultiNodeModel {
     intra: CollectiveModel,
     devices_per_node: usize,
     nodes: usize,
-    inter_bps_per_device: f64,
+    scale_out: ScaleOutSpec,
 }
 
 impl MultiNodeModel {
     /// Build a cluster of `nodes` nodes of `spec` devices. The scale-out
-    /// bandwidth per device comes from the platform: 3×100 GbE for
-    /// Gaudi-2 nodes, 1×200 Gb/s HDR per GPU for DGX A100.
+    /// rail (bandwidth, per-step latency, sustained efficiency) comes
+    /// from [`ScaleOutSpec`] in the device registry: 3×100 GbE for
+    /// Gaudi-2 nodes, 1×200 Gb/s HDR per GPU for DGX A100 — new presets
+    /// (Gaudi-3, …) get a fabric without touching this crate.
     ///
     /// # Panics
     /// Panics if `nodes` is zero.
     #[must_use]
     pub fn new(spec: &DeviceSpec, nodes: usize) -> Self {
         assert!(nodes > 0, "need at least one node");
-        let inter_bps_per_device = match spec.fabric {
-            // The 3 remaining RoCE ports of each Gaudi-2.
-            dcm_core::specs::FabricSpec::P2pMesh { link_bps, .. } => 3.0 * link_bps,
-            // One HDR200 NIC per GPU on the DGX.
-            dcm_core::specs::FabricSpec::Switched { .. } => 200.0e9 / 8.0,
-        };
         MultiNodeModel {
             intra: CollectiveModel::new(spec),
             devices_per_node: spec.devices_per_node,
             nodes,
-            inter_bps_per_device,
+            scale_out: spec.scale_out.clone(),
         }
     }
 
@@ -67,7 +57,13 @@ impl MultiNodeModel {
     /// Scale-out bandwidth per device in bytes/s (line rate).
     #[must_use]
     pub fn inter_node_bandwidth(&self) -> f64 {
-        self.inter_bps_per_device
+        self.scale_out.bps_per_device
+    }
+
+    /// Nodes in the cluster.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
     }
 
     /// Wall time of a cluster-wide all-reduce of `bytes` per device.
@@ -76,11 +72,13 @@ impl MultiNodeModel {
     /// hierarchical reduce-scatter → inter-node all-reduce of the
     /// 1/devices_per_node shard → all-gather.
     ///
-    /// # Panics
-    /// Panics if `bytes` is zero.
+    /// `bytes == 0` is a no-op and returns `0.0` (never NaN/inf),
+    /// matching [`CollectiveModel::time`].
     #[must_use]
     pub fn allreduce_time(&self, bytes: u64) -> f64 {
-        assert!(bytes > 0, "payload must be non-empty");
+        if bytes == 0 {
+            return 0.0;
+        }
         if self.nodes == 1 {
             return self
                 .intra
@@ -93,19 +91,26 @@ impl MultiNodeModel {
             .intra
             .time(Collective::AllGather, bytes, self.devices_per_node);
         // Each device all-reduces its shard across its rail.
-        let shard = (bytes / self.devices_per_node as u64).max(1);
-        let n = self.nodes as f64;
-        let inter_beta = shard as f64 * 2.0 * (n - 1.0)
+        let dpn = u64::try_from(self.devices_per_node).unwrap_or(u64::MAX);
+        let shard = (bytes / dpn).max(1);
+        let n = dcm_core::cast::usize_to_f64(self.nodes);
+        let inter_beta = dcm_core::cast::u64_to_f64(shard) * 2.0 * (n - 1.0)
             / n
-            / (self.inter_bps_per_device * INTER_NODE_EFFICIENCY);
-        let inter_alpha = 2.0 * (self.nodes - 1) as f64 * INTER_NODE_ALPHA_S;
+            / (self.scale_out.bps_per_device * self.scale_out.efficiency);
+        let inter_alpha =
+            2.0 * dcm_core::cast::usize_to_f64(self.nodes - 1) * self.scale_out.alpha_s;
         rs + inter_beta + inter_alpha + ag
     }
 
     /// Effective cluster all-reduce algorithm bandwidth in bytes/s.
+    /// `bytes == 0` returns `0.0` (a no-op moves nothing).
     #[must_use]
     pub fn allreduce_bandwidth(&self, bytes: u64) -> f64 {
-        bytes as f64 / self.allreduce_time(bytes)
+        let t = self.allreduce_time(bytes);
+        if t <= 0.0 {
+            return 0.0;
+        }
+        dcm_core::cast::u64_to_f64(bytes) / t
     }
 }
 
@@ -183,8 +188,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-empty")]
-    fn zero_bytes_rejected() {
-        let _ = gaudi(2).allreduce_time(0);
+    fn zero_bytes_is_a_noop() {
+        // An empty all-reduce completes instantly — never NaN/inf.
+        for model in [gaudi(1), gaudi(4), dgx(4)] {
+            assert_eq!(model.allreduce_time(0).to_bits(), 0.0f64.to_bits());
+            assert_eq!(model.allreduce_bandwidth(0).to_bits(), 0.0f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn scale_out_comes_from_device_registry() {
+        // S2: constants live in ScaleOutSpec now — a preset added to the
+        // registry gets a scale-out fabric with no dcm-net change.
+        let g3 = MultiNodeModel::new(&DeviceSpec::gaudi3(), 2);
+        assert!((g3.inter_node_bandwidth() - 75.0e9).abs() < 1e6);
     }
 }

@@ -55,18 +55,34 @@ use crate::fault::{FaultPlan, ResilienceConfig, TimelineKind};
 use dcm_core::error::{DcmError, Result};
 use dcm_core::metrics::LatencyRecorder;
 use dcm_core::sim::EventQueue;
+use dcm_core::specs::DeviceSpec;
 use dcm_core::trace::{Span, SpanKind, Trace, TraceRecorder};
+use dcm_net::flow::{FlowId, FlowSim};
+use dcm_net::topology::Topology;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// Arrivals sort after every fault class (crash = 3) at the same instant:
-/// a replica crashing exactly when a request arrives cannot receive it.
-const PRIO_ARRIVAL: u32 = 4;
+/// Fabric deliveries sort after every fault class (crash = 3) at the same
+/// instant — a dispatch in flight toward a replica that crashes at the
+/// delivery instant is re-routed — and before arrivals, so a routing
+/// decision observes every delivery due at its instant.
+const PRIO_FABRIC: u32 = 4;
+
+/// Arrivals sort after every fault class and after fabric deliveries at
+/// the same instant: a replica crashing exactly when a request arrives
+/// cannot receive it.
+const PRIO_ARRIVAL: u32 = 5;
 
 /// One event in the merged cluster timeline.
 enum ClusterEvent {
     Fault(TimelineKind),
     Arrival(Request),
+    /// The control fabric has work due (a dispatch flow finishing or a
+    /// delivery landing). Carries the schedule stamp; stale wakes are
+    /// skipped.
+    FabricWake {
+        version: u64,
+    },
 }
 
 /// How the cluster assigns an arriving request to a replica.
@@ -99,6 +115,103 @@ impl RoutingPolicy {
             RoutingPolicy::LeastLoadedKv => "least_kv",
             RoutingPolicy::WeightedJsq => "wjsq",
         }
+    }
+}
+
+/// Opt-in control-plane fabric: router → replica dispatch messages are
+/// costed as flows on a shared star topology instead of arriving for
+/// free (ROADMAP item 2; prerequisite for disaggregated serving, where
+/// KV-migration traffic competes on the same links).
+///
+/// Topology: the router's single egress link feeds a hub, which fans out
+/// one link per replica. Every dispatch crosses the shared egress link,
+/// so bursts of simultaneous arrivals contend (deterministic max-min
+/// sharing) and the delivery delay shows up in TTFT/queue delay. With no
+/// fabric configured (the default), dispatch is instantaneous and all
+/// golden serving reports are byte-identical to previous versions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Size of one dispatch/coordination message in bytes.
+    pub dispatch_bytes: u64,
+    /// Capacity of the router egress and per-replica links, bytes/s.
+    pub link_bps: f64,
+    /// One-way latency of the router→replica path, seconds.
+    pub latency_s: f64,
+}
+
+impl FabricConfig {
+    /// Derive a control fabric from a device's scale-out rail (the NIC
+    /// the router would really reach replicas through): link speed and
+    /// per-message latency from [`dcm_core::specs::ScaleOutSpec`], with
+    /// a 16 KiB dispatch payload (request metadata + routing envelope).
+    #[must_use]
+    pub fn from_spec(spec: &DeviceSpec) -> Self {
+        FabricConfig {
+            dispatch_bytes: 16 << 10,
+            link_bps: spec.scale_out.bps_per_device * spec.scale_out.efficiency,
+            latency_s: spec.scale_out.alpha_s,
+        }
+    }
+}
+
+/// Live control-fabric state of one run: the flow simulator plus the
+/// dispatches in flight and the deliveries already timed.
+struct FabricRun {
+    sim: FlowSim,
+    dispatch_bytes: u64,
+    /// Dispatch flows still transferring: `(flow, request, target)`.
+    pending: Vec<(FlowId, Request, usize)>,
+    /// Finished dispatches awaiting their delivery instant, sorted
+    /// ascending by time (stable — equal times keep finish order).
+    deliveries: Vec<(f64, Request, usize)>,
+    /// Stamp of the latest scheduled wake; older wakes are stale.
+    wake_version: u64,
+}
+
+/// Router endpoint in the control-fabric topology.
+const FABRIC_ROUTER: usize = 0;
+
+impl FabricRun {
+    fn new(cfg: FabricConfig, replicas: usize) -> Self {
+        // Star: router(0) → egress → hub(1) → one link per replica
+        // (replica i is endpoint 2+i). The egress link carries the
+        // latency so every dispatch pays it exactly once.
+        let mut topo = Topology::new(2 + replicas);
+        let egress = topo.add_link(0, 1, cfg.link_bps, cfg.latency_s);
+        for i in 0..replicas {
+            let l = topo.add_link(1, 2 + i, cfg.link_bps, 0.0);
+            topo.add_route(FABRIC_ROUTER, 2 + i, vec![egress, l]);
+        }
+        FabricRun {
+            sim: FlowSim::new(topo),
+            dispatch_bytes: cfg.dispatch_bytes,
+            pending: Vec::new(),
+            deliveries: Vec::new(),
+            wake_version: 0,
+        }
+    }
+
+    /// Inject one dispatch toward `target` at the current fabric time.
+    fn dispatch(&mut self, r: Request, target: usize) {
+        let flow = self
+            .sim
+            .inject(FABRIC_ROUTER, 2 + target, self.dispatch_bytes, &[]);
+        self.pending.push((flow, r, target));
+    }
+
+    /// The next instant the fabric needs the event loop's attention.
+    fn next_time(&mut self) -> Option<f64> {
+        let next_delivery = self.deliveries.first().map(|d| d.0);
+        let next_finish = self.sim.next_time();
+        match (next_delivery, next_finish) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// True once every dispatch has been delivered.
+    fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.deliveries.is_empty()
     }
 }
 
@@ -184,6 +297,7 @@ impl ClusterReport {
 pub struct Cluster {
     replicas: Vec<ServingEngine>,
     policy: RoutingPolicy,
+    fabric: Option<FabricConfig>,
 }
 
 impl Cluster {
@@ -195,7 +309,11 @@ impl Cluster {
     #[must_use]
     pub fn new(replicas: Vec<ServingEngine>, policy: RoutingPolicy) -> Self {
         assert!(!replicas.is_empty(), "cluster needs at least one replica");
-        Cluster { replicas, policy }
+        Cluster {
+            replicas,
+            policy,
+            fabric: None,
+        }
     }
 
     /// Build `n` identical replicas, mirroring [`ServingEngine::new`].
@@ -217,7 +335,21 @@ impl Cluster {
         let replicas = (0..n)
             .map(|_| ServingEngine::new(device, model.clone(), tp, backend, max_decode_batch))
             .collect();
-        Cluster { replicas, policy }
+        Cluster {
+            replicas,
+            policy,
+            fabric: None,
+        }
+    }
+
+    /// Cost router→replica dispatch traffic as flows on a control fabric
+    /// (see [`FabricConfig`]). Off by default: without this call,
+    /// dispatch is instantaneous and reports are byte-identical to
+    /// previous versions.
+    #[must_use]
+    pub fn with_fabric(mut self, cfg: FabricConfig) -> Self {
+        self.fabric = Some(cfg);
+        self
     }
 
     /// Cap every replica's KV cache at `blocks` blocks (see
@@ -399,6 +531,73 @@ impl Cluster {
         Ok(())
     }
 
+    /// Process everything the control fabric owes at instant `t`: finish
+    /// due dispatch flows, time their deliveries, and enqueue every
+    /// delivery due at or before `t` into its target replica. A delivery
+    /// whose target died in flight is re-routed under the same retry
+    /// budget as crash displacement.
+    fn fabric_deliver(&mut self, st: &mut RunState, t: f64, cfg: &ResilienceConfig) -> Result<()> {
+        let Some(mut fr) = st.fabric.take() else {
+            return Ok(());
+        };
+        fr.sim.advance_to(t);
+        // Move finished flows into the delivery queue (delivery = finish
+        // + route latency), keeping it sorted by time.
+        let mut still = Vec::with_capacity(fr.pending.len());
+        for (flow, r, target) in fr.pending.drain(..) {
+            if fr.sim.finish_time(flow).is_nan() {
+                still.push((flow, r, target));
+            } else {
+                let due = fr.sim.delivery_time(flow);
+                let pos = fr
+                    .deliveries
+                    .partition_point(|d| d.0.total_cmp(&due).is_le());
+                fr.deliveries.insert(pos, (due, r, target));
+            }
+        }
+        fr.pending = still;
+        while fr.deliveries.first().is_some_and(|d| d.0 <= t) {
+            let (due, r, target) = fr.deliveries.remove(0);
+            self.advance_live(st, due)?;
+            if st.alive[target] {
+                st.sims[target].enqueue(r);
+                continue;
+            }
+            // In-flight dispatch toward a dead replica: same budgeted
+            // re-route as crash-displaced work.
+            let tries = st.attempts.entry(r.id).or_insert(0);
+            *tries += 1;
+            if *tries > cfg.max_retries {
+                st.failed += 1;
+                st.router_trace
+                    .instant(SpanKind::Route, "fail", due, Some(r.id), &[]);
+                continue;
+            }
+            match self.route(&st.sims, &st.alive, st.rr) {
+                None => {
+                    st.failed += 1;
+                    st.router_trace
+                        .instant(SpanKind::Route, "fail", due, Some(r.id), &[]);
+                }
+                Some(next) => {
+                    st.retries += 1;
+                    st.rr += 1;
+                    st.dispatched[next] += 1;
+                    st.router_trace.instant(
+                        SpanKind::Route,
+                        "retry",
+                        due,
+                        Some(r.id),
+                        &[("replica", dcm_core::cast::usize_to_f64(next))],
+                    );
+                    fr.dispatch(r, next);
+                }
+            }
+        }
+        st.fabric = Some(fr);
+        Ok(())
+    }
+
     /// Serve `requests` across the replicas to completion, fault-free.
     ///
     /// The trace is replayed in global arrival order. At each arrival
@@ -506,6 +705,7 @@ impl Cluster {
             retries: 0,
             lost_tokens: 0,
             router_trace: TraceRecorder::disabled(),
+            fabric: self.fabric.map(|cfg| FabricRun::new(cfg, n)),
         };
         if traced {
             for (i, sim) in st.sims.iter_mut().enumerate() {
@@ -545,6 +745,16 @@ impl Cluster {
         while let Some(ev) = events.pop() {
             match ev.payload {
                 ClusterEvent::Fault(kind) => self.apply_fault(&mut st, ev.time, kind, cfg)?,
+                ClusterEvent::FabricWake { version } => {
+                    let live = st
+                        .fabric
+                        .as_ref()
+                        .is_some_and(|fr| fr.wake_version == version);
+                    if live {
+                        self.fabric_deliver(&mut st, ev.time, cfg)?;
+                        reschedule_fabric(&mut st, &mut events);
+                    }
+                }
                 ClusterEvent::Arrival(r) => {
                     self.advance_live(&mut st, r.arrival_s)?;
                     match self.route(&st.sims, &st.alive, st.rr) {
@@ -580,13 +790,28 @@ impl Cluster {
                                     Some(r.id),
                                     &[("replica", target as f64)],
                                 );
-                                st.sims[target].enqueue(r);
+                                match st.fabric.as_mut() {
+                                    // Instantaneous dispatch (default).
+                                    None => st.sims[target].enqueue(r),
+                                    // Costed dispatch: the request rides a
+                                    // flow and joins the replica's queue at
+                                    // the delivery instant.
+                                    Some(fr) => {
+                                        fr.sim.advance_to(r.arrival_s);
+                                        fr.dispatch(r, target);
+                                        reschedule_fabric(&mut st, &mut events);
+                                    }
+                                }
                             }
                         }
                     }
                 }
             }
         }
+        debug_assert!(
+            st.fabric.as_ref().is_none_or(FabricRun::is_idle),
+            "dispatches left in flight"
+        );
         for (i, (engine, sim)) in self.replicas.iter_mut().zip(st.sims.iter_mut()).enumerate() {
             if st.alive[i] {
                 engine.sim_advance(sim, f64::INFINITY)?;
@@ -684,6 +909,23 @@ impl Cluster {
     }
 }
 
+/// (Re)schedule the control fabric's wake-up in the merged event queue.
+/// Bumping the stamp invalidates any earlier wake still in the queue.
+fn reschedule_fabric(st: &mut RunState, events: &mut EventQueue<ClusterEvent>) {
+    if let Some(fr) = st.fabric.as_mut() {
+        if let Some(t) = fr.next_time() {
+            fr.wake_version += 1;
+            events.push(
+                t,
+                PRIO_FABRIC,
+                ClusterEvent::FabricWake {
+                    version: fr.wake_version,
+                },
+            );
+        }
+    }
+}
+
 /// The mutable state of one resilient cluster run: per-replica
 /// simulations and liveness, dispatch bookkeeping, and the resilience
 /// counters that feed the report.
@@ -703,6 +945,8 @@ struct RunState {
     lost_tokens: usize,
     /// Router-track span recorder — disabled (free) on untraced runs.
     router_trace: TraceRecorder,
+    /// Control fabric, when dispatch traffic is costed as flows.
+    fabric: Option<FabricRun>,
 }
 
 #[cfg(test)]
@@ -1113,6 +1357,116 @@ mod tests {
         assert!(cluster(2, RoutingPolicy::RoundRobin)
             .run_resilient(&reqs, &plan, &ResilienceConfig::default())
             .is_err());
+    }
+
+    // ---- control-plane fabric --------------------------------------------
+
+    #[test]
+    fn zero_cost_fabric_matches_baseline_bit_for_bit() {
+        // A fabric with zero-byte dispatches and zero latency delivers
+        // every request at its arrival instant, before any same-time
+        // arrival is routed — the report must not move a single bit.
+        let reqs = online_trace(24, 17, 10.0);
+        let baseline = cluster(3, RoutingPolicy::JoinShortestQueue)
+            .run(&reqs)
+            .unwrap();
+        let zero = FabricConfig {
+            dispatch_bytes: 0,
+            link_bps: 1.0,
+            latency_s: 0.0,
+        };
+        let fabriced = cluster(3, RoutingPolicy::JoinShortestQueue)
+            .with_fabric(zero)
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(baseline, fabriced);
+    }
+
+    #[test]
+    fn slow_fabric_shows_up_in_the_latency_tail() {
+        // Dispatches crossing a slow shared egress link arrive late and
+        // contend under bursts: TTFT grows, but no request is lost.
+        let reqs = online_trace(24, 7, 12.0);
+        let baseline = cluster(2, RoutingPolicy::RoundRobin).run(&reqs).unwrap();
+        let slow = FabricConfig {
+            dispatch_bytes: 1 << 20,
+            link_bps: 4.0e6, // ~0.26 s per dispatch on the shared egress
+            latency_s: 5.0e-3,
+        };
+        let fabriced = cluster(2, RoutingPolicy::RoundRobin)
+            .with_fabric(slow)
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(fabriced.serving.completed, 24, "fabric lost requests");
+        assert!(
+            fabriced.serving.mean_ttft_s > baseline.serving.mean_ttft_s,
+            "{} !> {}",
+            fabriced.serving.mean_ttft_s,
+            baseline.serving.mean_ttft_s
+        );
+        assert!(fabriced.serving.total_time_s >= baseline.serving.total_time_s);
+    }
+
+    #[test]
+    fn fabric_runs_are_bit_identical() {
+        let reqs = online_trace(24, 41, 10.0);
+        let cfg = FabricConfig {
+            dispatch_bytes: 64 << 10,
+            link_bps: 1.0e9,
+            latency_s: 1.0e-4,
+        };
+        let a = cluster(3, RoutingPolicy::LeastLoadedKv)
+            .with_fabric(cfg)
+            .run(&reqs)
+            .unwrap();
+        let b = cluster(3, RoutingPolicy::LeastLoadedKv)
+            .with_fabric(cfg)
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fabric_from_spec_uses_the_scale_out_rail() {
+        let cfg = FabricConfig::from_spec(&dcm_core::DeviceSpec::gaudi2());
+        // 37.5 GB/s rail at 85% efficiency.
+        assert!((cfg.link_bps - 37.5e9 * 0.85).abs() < 1e3);
+        assert!(cfg.latency_s > 0.0);
+        let reqs = online_trace(12, 23, 6.0);
+        let report = cluster(2, RoutingPolicy::JoinShortestQueue)
+            .with_fabric(cfg)
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(report.serving.completed, 12);
+    }
+
+    #[test]
+    fn in_flight_dispatch_to_crashed_replica_is_rerouted() {
+        // A fat dispatch takes ~1 s to deliver; replica 0 dies while it
+        // is in flight. The delivery must re-route to the survivor and
+        // the accounting must still balance.
+        let reqs = vec![
+            crate::dataset::Request::new(0, 128, 16).with_arrival(0.0),
+            crate::dataset::Request::new(1, 128, 16).with_arrival(0.1),
+        ];
+        let slow = FabricConfig {
+            dispatch_bytes: 1 << 20,
+            link_bps: 1.0e6,
+            latency_s: 0.0,
+        };
+        let plan = FaultPlan::none().with_crash(0, 0.5);
+        let report = cluster(2, RoutingPolicy::RoundRobin)
+            .with_fabric(slow)
+            .run_resilient(&reqs, &plan, &ResilienceConfig::default())
+            .unwrap();
+        assert_eq!(
+            report.serving.completed + report.serving.shed + report.serving.failed,
+            report.serving.offered()
+        );
+        assert_eq!(report.serving.offered(), 2);
+        assert_eq!(report.serving.completed, 2, "displaced dispatch was lost");
+        assert!(report.serving.retries > 0, "no re-route happened");
+        assert_eq!(report.per_replica[0].crashes, 1);
     }
 
     /// An all-zero serving report for degenerate-input tests.

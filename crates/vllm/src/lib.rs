@@ -56,7 +56,7 @@ pub mod slab;
 
 pub use attention::{BatchStats, PagedAttention, PagedBackend};
 pub use block::{BlockList, BlockTable};
-pub use cluster::{Cluster, ClusterReport, ReplicaStats, RoutingPolicy};
+pub use cluster::{Cluster, ClusterReport, FabricConfig, ReplicaStats, RoutingPolicy};
 pub use dataset::{ArrivalProcess, Request, SyntheticDataset};
 pub use engine::{ServingEngine, ServingReport};
 pub use fault::{FaultEvent, FaultPlan, ResilienceConfig, ShedPolicy, SloSpec};
