@@ -175,6 +175,20 @@ impl<T> HeapEventQueue<T> {
         self.heap.peek().map(|e| e.time)
     }
 
+    /// Pop the next event only if it is due at or before `horizon`
+    /// (`time <= horizon`); otherwise leave the queue untouched and
+    /// return `None`. The bulk-horizon primitive for drain loops
+    /// (`while let Some(e) = q.pop_due(t)`) — one call replaces the
+    /// peek-compare-pop dance and can never drop an event past the
+    /// horizon. A NaN `horizon` compares false and pops nothing.
+    pub fn pop_due(&mut self, horizon: f64) -> Option<Event<T>> {
+        if self.peek_time()? <= horizon {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
     /// Payload of the next event without removing it.
     #[must_use]
     pub fn peek(&self) -> Option<&T> {
@@ -538,6 +552,20 @@ impl<T> EventQueue<T> {
     #[must_use]
     pub fn peek_time(&self) -> Option<f64> {
         self.find_min().map(|m| m.time)
+    }
+
+    /// Pop the next event only if it is due at or before `horizon`
+    /// (`time <= horizon`); otherwise leave the queue untouched and
+    /// return `None`. See [`HeapEventQueue::pop_due`] — the reference
+    /// semantics are pinned lockstep in `prop_queue_diff.rs`. The
+    /// `find_min` result is memoized, so a declined pop costs one
+    /// cached comparison, not a bucket scan.
+    pub fn pop_due(&mut self, horizon: f64) -> Option<Event<T>> {
+        if self.peek_time()? <= horizon {
+            self.pop()
+        } else {
+            None
+        }
     }
 
     /// Payload of the next event without removing it.

@@ -7,8 +7,16 @@
 //! models that layer for the paper's serving study: each replica is a
 //! full [`ServingEngine`] (its own KV cache, continuous-batching
 //! scheduler and preemption behaviour), and the [`Cluster`] replays a
-//! trace in global arrival order, advancing every replica's simulation to
-//! each arrival instant before routing it.
+//! trace in global arrival order under **lazy per-replica horizons**:
+//! a replica's simulation is advanced to an event instant only when the
+//! event lands on it or a cluster-level read (a routing policy that
+//! inspects queue depth or KV load, a shedding decision, a fault edge,
+//! a fabric delivery, the final report) needs its state. Deferring is
+//! unobservable — each replica's step sequence depends only on its own
+//! queue and global event times are monotone — so a lazy run is
+//! bit-identical to eagerly advancing every replica to every event
+//! (DESIGN.md §3.10), while state-oblivious policies (round-robin) skip
+//! the per-arrival advance entirely.
 //!
 //! Four policies are modeled:
 //!
@@ -53,7 +61,7 @@ use crate::dataset::Request;
 use crate::engine::{self, ServingEngine, ServingReport, SimState};
 use crate::fault::{FaultPlan, ResilienceConfig, TimelineKind};
 use dcm_core::error::{DcmError, Result};
-use dcm_core::metrics::LatencyRecorder;
+use dcm_core::metrics::{LatencyRecorder, MetricsMode};
 use dcm_core::sim::EventQueue;
 use dcm_core::specs::DeviceSpec;
 use dcm_core::trace::{Span, SpanKind, Trace, TraceRecorder};
@@ -115,6 +123,16 @@ impl RoutingPolicy {
             RoutingPolicy::LeastLoadedKv => "least_kv",
             RoutingPolicy::WeightedJsq => "wjsq",
         }
+    }
+
+    /// Whether a routing decision inspects replica state (queue depth or
+    /// KV pressure). State-reading policies force every live replica to
+    /// catch up to the arrival instant so they observe current values;
+    /// round-robin reads nothing and routes without advancing anyone —
+    /// the cheapest policy under lazy horizons (DESIGN.md §3.10).
+    #[must_use]
+    pub fn reads_replica_state(self) -> bool {
+        !matches!(self, RoutingPolicy::RoundRobin)
     }
 }
 
@@ -364,6 +382,39 @@ impl Cluster {
         self
     }
 
+    /// Enable analytic fast-forward on every replica (see
+    /// [`ServingEngine::with_fast_forward`]). Off by default. With it
+    /// on, every count in the report (completed / shed / failed /
+    /// retries, token totals) stays exact; timestamps — and therefore
+    /// latency percentiles and `total_time_s` — carry the documented
+    /// drift bound (DESIGN.md §3.8/§3.10). The five golden exact-mode
+    /// reports never enable it.
+    #[must_use]
+    pub fn with_fast_forward(mut self, enabled: bool) -> Self {
+        self.replicas = self
+            .replicas
+            .into_iter()
+            .map(|e| e.with_fast_forward(enabled))
+            .collect();
+        self
+    }
+
+    /// Record every replica's latency samples in `mode` (see
+    /// [`ServingEngine::with_metrics_mode`]) — [`MetricsMode::Histogram`]
+    /// is the million-request configuration, with quantiles within 2⁻⁷
+    /// relative error. Aggregation merges recorders of the same mode;
+    /// mixing modes across replicas of one cluster is a hard error at
+    /// merge time, so configure the whole cluster through this builder.
+    #[must_use]
+    pub fn with_metrics_mode(mut self, mode: MetricsMode) -> Self {
+        self.replicas = self
+            .replicas
+            .into_iter()
+            .map(|e| e.with_metrics_mode(mode))
+            .collect();
+        self
+    }
+
     /// Number of replicas.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -420,12 +471,26 @@ impl Cluster {
         }
     }
 
-    /// Advance every live replica's simulation to instant `t`.
+    /// Catch every live replica's simulation up to instant `t` — the
+    /// full (eager) catch-up, forced by cluster-wide state reads:
+    /// state-reading routing policies, crash re-routing, and fabric
+    /// deliveries.
     fn advance_live(&mut self, st: &mut RunState, t: f64) -> Result<()> {
         for (i, (engine, sim)) in self.replicas.iter_mut().zip(st.sims.iter_mut()).enumerate() {
             if st.alive[i] {
                 engine.sim_advance(sim, t)?;
             }
+        }
+        Ok(())
+    }
+
+    /// Catch a single replica's simulation up to instant `t` (no-op for
+    /// a dead replica) — the targeted catch-up for events that read or
+    /// mutate one replica's state only (shedding checks, slowdown
+    /// edges).
+    fn catch_up(&mut self, st: &mut RunState, i: usize, t: f64) -> Result<()> {
+        if st.alive[i] {
+            self.replicas[i].sim_advance(&mut st.sims[i], t)?;
         }
         Ok(())
     }
@@ -506,7 +571,12 @@ impl Cluster {
                 );
             }
             TimelineKind::SlowStart { replica, factor } => {
-                self.advance_live(st, t)?;
+                // Only the affected replica must be current: the scale
+                // applies to *its* steps from `t` on. Other replicas'
+                // deferred work replays identically later (two-stage
+                // advances with nothing enqueued in between execute the
+                // same step sequence).
+                self.catch_up(st, replica, t)?;
                 st.sims[replica].set_time_scale(factor);
                 st.router_trace.instant(
                     SpanKind::Fault,
@@ -517,7 +587,7 @@ impl Cluster {
                 );
             }
             TimelineKind::SlowEnd { replica } => {
-                self.advance_live(st, t)?;
+                self.catch_up(st, replica, t)?;
                 st.sims[replica].set_time_scale(1.0);
                 st.router_trace.instant(
                     SpanKind::Fault,
@@ -600,11 +670,12 @@ impl Cluster {
 
     /// Serve `requests` across the replicas to completion, fault-free.
     ///
-    /// The trace is replayed in global arrival order. At each arrival
-    /// every replica's simulation is advanced to the arrival instant (so
-    /// routing decisions observe the state the replica would really have
-    /// at that time), the policy picks a replica, and the request joins
-    /// its queue. After the last arrival every replica drains.
+    /// The trace is replayed in global arrival order. At each arrival a
+    /// state-reading policy first catches every replica up to the
+    /// arrival instant (so routing observes the state the replica would
+    /// really have at that time; round-robin skips this), the policy
+    /// picks a replica, and the request joins its queue. After the last
+    /// arrival every replica drains.
     ///
     /// With one replica and an all-zero-arrival trace this is exactly
     /// [`ServingEngine::run`] — the offline Figure 17 path. Equivalent to
@@ -636,8 +707,9 @@ impl Cluster {
     ///
     /// Event order is deterministic: fault events due at or before an
     /// arrival apply first (so a replica crashing at the arrival instant
-    /// cannot receive it), every live replica is advanced to each event's
-    /// instant before it takes effect, and all ties break by replica
+    /// cannot receive it), every replica whose state an event reads is
+    /// caught up to the event's instant before it takes effect (lazy
+    /// horizons — see the module docs), and all ties break by replica
     /// index. Each offered request ends in exactly one of three buckets —
     /// completed, shed (admission control), or failed (crash retries
     /// exhausted, or no replica alive) — so
@@ -756,7 +828,19 @@ impl Cluster {
                     }
                 }
                 ClusterEvent::Arrival(r) => {
-                    self.advance_live(&mut st, r.arrival_s)?;
+                    // Lazy horizons: replicas catch up to the arrival
+                    // instant only when this dispatch is about to read
+                    // their state — a state-reading policy inspects all
+                    // of them, a shedding check inspects the target.
+                    // Round-robin with shedding off reads nothing and
+                    // dispatches without advancing anyone; the deferred
+                    // work replays bit-identically at the replica's
+                    // next read, fault edge, fabric delivery, or the
+                    // final drain (DESIGN.md §3.10).
+                    let policy_reads = self.policy.reads_replica_state();
+                    if policy_reads {
+                        self.advance_live(&mut st, r.arrival_s)?;
+                    }
                     match self.route(&st.sims, &st.alive, st.rr) {
                         // Total outage: no replica can accept the request.
                         None => {
@@ -770,6 +854,11 @@ impl Cluster {
                             );
                         }
                         Some(target) => {
+                            if !policy_reads && cfg.shed.is_active() {
+                                // Shedding reads the target's queue/KV
+                                // pressure even when routing does not.
+                                self.catch_up(&mut st, target, r.arrival_s)?;
+                            }
                             let sim = &st.sims[target];
                             if cfg.shed.rejects(sim.queue_depth(), sim.kv_used_fraction()) {
                                 st.shed += 1;
@@ -1380,6 +1469,27 @@ mod tests {
             .run(&reqs)
             .unwrap();
         assert_eq!(baseline, fabriced);
+    }
+
+    #[test]
+    fn zero_cost_fabric_matches_lazy_round_robin_bit_for_bit() {
+        // Round-robin reads no replica state, so the lazy scheduler skips
+        // every per-arrival catch-up; a zero-cost fabric instead forces an
+        // eager `advance_live` at each delivery instant. Bit-identical
+        // reports pin lazy ≡ eager (DESIGN.md §3.10) on the one policy
+        // where the two schedules differ maximally.
+        let reqs = online_trace(24, 29, 10.0);
+        let lazy = cluster(3, RoutingPolicy::RoundRobin).run(&reqs).unwrap();
+        let zero = FabricConfig {
+            dispatch_bytes: 0,
+            link_bps: 1.0,
+            latency_s: 0.0,
+        };
+        let eager = cluster(3, RoutingPolicy::RoundRobin)
+            .with_fabric(zero)
+            .run(&reqs)
+            .unwrap();
+        assert_eq!(lazy, eager);
     }
 
     #[test]

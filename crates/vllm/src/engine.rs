@@ -344,13 +344,8 @@ impl SimState {
     }
 
     fn promote_arrivals(&mut self) {
-        while self
-            .arrivals
-            .peek_time()
-            .is_some_and(|t| t <= self.clock.now())
-        {
-            // dcm-lint: allow(P1) peek_time() returned Some on this branch
-            let e = self.arrivals.pop().expect("checked non-empty");
+        let now = self.clock.now();
+        while let Some(e) = self.arrivals.pop_due(now) {
             self.ready.push_back(WorkItem::fresh(e.payload));
         }
     }
@@ -606,6 +601,96 @@ impl ServingEngine {
         })
     }
 
+    /// Whether `sim_step` would admit right now: the decode batch has
+    /// room and the head of the ready queue fits the KV cache with one
+    /// output token.
+    fn admission_possible(&self, sim: &SimState) -> bool {
+        sim.active.len() < self.max_decode_batch
+            && sim
+                .ready
+                .front()
+                .is_some_and(|w| sim.kv.can_admit(w.admit_tokens() + 1))
+    }
+
+    /// Admit the head of the ready queue: prefill it at the current
+    /// clock and either retire it (single-output-token request) or place
+    /// it in the active batch. The one admission path — `sim_step` and
+    /// the fast-forward prefill stretch both call it, so admissions
+    /// carry bit-identical timestamps in both modes.
+    ///
+    /// Caller must have checked [`Self::admission_possible`].
+    fn admit_one(&mut self, sim: &mut SimState) -> Result<()> {
+        // dcm-lint: allow(P1) admission_possible requires front() to be Some
+        let w = sim.ready.pop_front().expect("checked non-empty");
+        let r = w.request;
+        let admit_tokens = w.admit_tokens();
+        sim.kv.admit(r.id, admit_tokens)?;
+        if w.resumed.is_none() {
+            sim.queue_delay.record(sim.clock.now() - r.arrival_s);
+        }
+        // Prefill covers the prompt plus, for a resumed sequence, the
+        // recomputation of its already-generated tokens. The time
+        // scale models transient slowdown windows (1.0 = nominal).
+        let t0 = sim.clock.now();
+        let prefill = self.prefill_time(admit_tokens) * sim.time_scale;
+        sim.clock.advance_by(prefill);
+        sim.busy_s += prefill;
+        sim.trace.span(
+            SpanKind::Prefill,
+            "prefill",
+            t0,
+            prefill,
+            Some(r.id),
+            &[("tokens", admit_tokens as f64)],
+        );
+        sim.kv.append_token(r.id)?;
+        let seq = match w.resumed {
+            Some(state) => state,
+            None => {
+                // Prefill emits the first output token.
+                sim.ttft.record(sim.clock.now() - r.arrival_s);
+                sim.total_output += 1;
+                ActiveSeq {
+                    remaining: r.output_len - 1,
+                    first_token_t: sim.clock.now(),
+                    produced: 1,
+                }
+            }
+        };
+        if seq.remaining == 0 {
+            sim.kv.release(r.id)?;
+            sim.completed += 1;
+            // A single-output-token request has no decode interval:
+            // it contributes no TPOT sample (a 0.0 here would drag
+            // the whole TPOT distribution toward zero).
+            sim.finished.push(FinishedRequest {
+                ttft_s: seq.first_token_t - r.arrival_s,
+                tpot_s: None,
+                output_tokens: seq.produced,
+            });
+            sim.trace.span(
+                SpanKind::Request,
+                "request",
+                r.arrival_s,
+                sim.clock.now() - r.arrival_s,
+                Some(r.id),
+                &[
+                    ("output_tokens", seq.produced as f64),
+                    ("ttft_s", seq.first_token_t - r.arrival_s),
+                ],
+            );
+        } else {
+            // dcm-lint: allow(P1) admit(r.id, ..) succeeded just above
+            let kv_tokens = sim.kv.tokens_of(r.id).expect("just admitted");
+            sim.stats.add(kv_tokens);
+            let slot =
+                sim.slab
+                    .insert(r, seq.remaining, seq.first_token_t, seq.produced, kv_tokens);
+            sim.active_insert(r.id, slot);
+        }
+        Ok(())
+    }
+
     /// Run one scheduler iteration at the current clock, if any work has
     /// arrived: admit the head of the ready queue (prefill), or execute
     /// one decode step for every active sequence. Returns `Ok(false)` when
@@ -613,80 +698,8 @@ impl ServingEngine {
     fn sim_step(&mut self, sim: &mut SimState) -> Result<bool> {
         // Admission: prefill one ready item per iteration if the decode
         // batch has room and its current tokens fit.
-        let can_admit = sim.active.len() < self.max_decode_batch
-            && sim
-                .ready
-                .front()
-                .is_some_and(|w| sim.kv.can_admit(w.admit_tokens() + 1));
-        if can_admit {
-            // dcm-lint: allow(P1) can_admit requires front() to be Some
-            let w = sim.ready.pop_front().expect("checked non-empty");
-            let r = w.request;
-            let admit_tokens = w.admit_tokens();
-            sim.kv.admit(r.id, admit_tokens)?;
-            if w.resumed.is_none() {
-                sim.queue_delay.record(sim.clock.now() - r.arrival_s);
-            }
-            // Prefill covers the prompt plus, for a resumed sequence, the
-            // recomputation of its already-generated tokens. The time
-            // scale models transient slowdown windows (1.0 = nominal).
-            let t0 = sim.clock.now();
-            let prefill = self.prefill_time(admit_tokens) * sim.time_scale;
-            sim.clock.advance_by(prefill);
-            sim.busy_s += prefill;
-            sim.trace.span(
-                SpanKind::Prefill,
-                "prefill",
-                t0,
-                prefill,
-                Some(r.id),
-                &[("tokens", admit_tokens as f64)],
-            );
-            sim.kv.append_token(r.id)?;
-            let seq = match w.resumed {
-                Some(state) => state,
-                None => {
-                    // Prefill emits the first output token.
-                    sim.ttft.record(sim.clock.now() - r.arrival_s);
-                    sim.total_output += 1;
-                    ActiveSeq {
-                        remaining: r.output_len - 1,
-                        first_token_t: sim.clock.now(),
-                        produced: 1,
-                    }
-                }
-            };
-            if seq.remaining == 0 {
-                sim.kv.release(r.id)?;
-                sim.completed += 1;
-                // A single-output-token request has no decode interval:
-                // it contributes no TPOT sample (a 0.0 here would drag
-                // the whole TPOT distribution toward zero).
-                sim.finished.push(FinishedRequest {
-                    ttft_s: seq.first_token_t - r.arrival_s,
-                    tpot_s: None,
-                    output_tokens: seq.produced,
-                });
-                sim.trace.span(
-                    SpanKind::Request,
-                    "request",
-                    r.arrival_s,
-                    sim.clock.now() - r.arrival_s,
-                    Some(r.id),
-                    &[
-                        ("output_tokens", seq.produced as f64),
-                        ("ttft_s", seq.first_token_t - r.arrival_s),
-                    ],
-                );
-            } else {
-                // dcm-lint: allow(P1) admit(r.id, ..) succeeded just above
-                let kv_tokens = sim.kv.tokens_of(r.id).expect("just admitted");
-                sim.stats.add(kv_tokens);
-                let slot =
-                    sim.slab
-                        .insert(r, seq.remaining, seq.first_token_t, seq.produced, kv_tokens);
-                sim.active_insert(r.id, slot);
-            }
+        if self.admission_possible(sim) {
+            self.admit_one(sim)?;
             return Ok(true);
         }
         if sim.active.is_empty() {
@@ -825,34 +838,46 @@ impl ServingEngine {
         Ok(true)
     }
 
-    /// Price one steady decode stretch in closed form and advance the
-    /// clock over it, or return `Ok(false)` if no stretch is available.
+    /// Execute one fast-forward stretch — a prefill stretch (bulk
+    /// admission, exact timestamps) or a closed-form decode stretch —
+    /// and advance the clock over it; `Ok(false)` if neither applies.
     ///
-    /// A stretch is `n` consecutive decode steps during which the batch
-    /// composition cannot change: admission is blocked (and KV growth is
-    /// monotone, so it stays blocked), no sequence completes before the
-    /// end, the KV cache cannot run out of blocks (so no preemption), and
-    /// no arrival or caller horizon is crossed. Under those caps every
-    /// produced-token count is exact; only the clock is approximate — the
-    /// per-step cost rises monotonically with sequence length, so the
-    /// stretch time is integrated by a trapezoid over the first and last
-    /// step (see DESIGN.md §3.8 for the soundness argument).
+    /// A decode stretch is `n` consecutive decode steps during which the
+    /// batch composition cannot change: admission is blocked (and KV
+    /// growth is monotone, so it stays blocked), no sequence completes
+    /// before the end, the KV cache cannot run out of blocks (so no
+    /// preemption), and neither the caller horizon nor — when an arrival
+    /// could actually be admitted mid-stretch — the next arrival is
+    /// crossed. Under those caps every produced-token count is exact;
+    /// only the clock is approximate — the per-step cost rises
+    /// monotonically with sequence length, so the stretch time is
+    /// integrated by a trapezoid over the first and last step (see
+    /// DESIGN.md §3.8 and §3.10 for the soundness arguments).
     fn try_fast_forward(&mut self, sim: &mut SimState, limit: f64) -> Result<bool> {
+        // Prefill stretch: drain consecutive admissions in one tight
+        // loop instead of bouncing through the outer scheduler loop per
+        // admission. Admission timestamps are *exact* — `admit_one` is
+        // the very code the step path runs — so the stretch contributes
+        // zero drift. Arrivals that fall due while the clock advances
+        // are promoted by the caller's next `promote_arrivals` before
+        // any further work; admission is strictly head-of-queue and
+        // promotions append behind existing entries, so the admitted
+        // sequence is identical to step mode (DESIGN.md §3.10).
+        let mut admitted = false;
+        while sim.clock.now() < limit && self.admission_possible(sim) {
+            self.admit_one(sim)?;
+            admitted = true;
+        }
+        if admitted {
+            return Ok(true);
+        }
         if sim.active.is_empty() {
             return Ok(false);
         }
-        // Admission has priority in `sim_step`; a stretch is only sound
-        // while it stays blocked, which requires it to be blocked now
-        // (free blocks shrink and the batch is unchanged mid-stretch, so
-        // a blocked admission cannot unblock).
-        if sim.active.len() < self.max_decode_batch
-            && sim
-                .ready
-                .front()
-                .is_some_and(|w| sim.kv.can_admit(w.admit_tokens() + 1))
-        {
-            return Ok(false);
-        }
+        // Admission has priority in `sim_step` and is blocked here (the
+        // loop above drained every possible admission); free blocks only
+        // shrink mid-stretch and the batch never drains, so a blocked
+        // ready head stays blocked for the whole stretch.
         let batch = sim.active.len();
         // Cap 1: no completion strictly inside the stretch (completions
         // land exactly at the stretch end).
@@ -888,13 +913,27 @@ impl ServingEngine {
         if n < MIN_FF_STEPS {
             return Ok(false);
         }
-        // Cap 3: never cross the next arrival or the caller's horizon
-        // (stretch time is monotone in n — binary search again).
+        // Cap 3: never cross the caller's horizon, nor — when a new
+        // arrival could actually be admitted mid-stretch — the next
+        // arrival (stretch time is monotone in n — binary search again).
+        // An arrival can only change the schedule by being admitted,
+        // which needs batch room and an empty ready queue (a waiting
+        // ready head shields it: the head is KV-blocked here and free
+        // blocks only shrink mid-stretch, so arrivals queue behind it).
+        // With a full batch or a waiting head the stretch runs straight
+        // through arrival instants; they are promoted at the stretch
+        // end, bit-identically to step mode.
         let attn_start = self
             .attention
             .decode_cost_from_stats(&sim.stats, 0.0)
             .time();
-        let horizon = limit.min(sim.arrivals.peek_time().unwrap_or(f64::INFINITY));
+        let arrival_can_admit = sim.active.len() < self.max_decode_batch && sim.ready.is_empty();
+        let next_arrival = if arrival_can_admit {
+            sim.arrivals.peek_time().unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        };
+        let horizon = limit.min(next_arrival);
         let now = sim.clock.now();
         if horizon.is_finite() {
             if now + self.stretch_time(sim, batch, n, attn_start) > horizon {

@@ -393,6 +393,15 @@ impl ShedPolicy {
         self.max_queue_depth.is_some_and(|d| queue_depth >= d)
             || self.max_kv_used.is_some_and(|f| kv_used_fraction >= f)
     }
+
+    /// Whether any threshold is configured at all. An inactive policy
+    /// never rejects, so the cluster's lazy-horizon dispatch skips the
+    /// target catch-up its check would otherwise force (DESIGN.md
+    /// §3.10).
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.max_queue_depth.is_some() || self.max_kv_used.is_some()
+    }
 }
 
 /// Everything the cluster needs to run resiliently: the shedding policy,

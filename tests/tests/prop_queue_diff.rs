@@ -115,6 +115,55 @@ proptest! {
         prop_assert_eq!(h, w);
     }
 
+    /// `pop_due` — the bulk-horizon primitive behind lazy replica
+    /// catch-up — agrees bit-for-bit between the queues: a pop happens
+    /// iff the head is at or before the horizon, and a declined pop
+    /// leaves both queues untouched. Horizons draw from the same
+    /// adversarial time pools as the events, so exact horizon-equals-head
+    /// ties (which must pop: the bound is inclusive) are common.
+    #[test]
+    fn pop_due_is_bit_identical_to_heap(
+        ops in proptest::collection::vec((0u8..4, 0u8..4, 0u16..65535, 0u8..3), 0..400),
+    ) {
+        let mut heap = HeapEventQueue::new();
+        let mut wheel = EventQueue::new();
+        let mut payload = 0u64;
+        for &(op, pool, raw, priority) in &ops {
+            match op % 4 {
+                0 | 1 => {
+                    let time = decode_time(pool, raw);
+                    let priority = u32::from(priority % 3);
+                    heap.push(time, priority, payload);
+                    wheel.push(time, priority, payload);
+                    payload += 1;
+                }
+                2 => {
+                    let horizon = decode_time(pool, raw);
+                    let h = heap
+                        .pop_due(horizon)
+                        .map(|e| (e.time.to_bits(), e.priority, e.seq, e.payload));
+                    let w = wheel
+                        .pop_due(horizon)
+                        .map(|e| (e.time.to_bits(), e.priority, e.seq, e.payload));
+                    prop_assert_eq!(h, w);
+                    if let Some((bits, ..)) = h {
+                        prop_assert!(
+                            f64::from_bits(bits) <= horizon,
+                            "popped past the horizon"
+                        );
+                    }
+                }
+                _ => {
+                    let h = heap.pop().map(|e| (e.time.to_bits(), e.priority, e.seq, e.payload));
+                    let w = wheel.pop().map(|e| (e.time.to_bits(), e.priority, e.seq, e.payload));
+                    prop_assert_eq!(h, w);
+                }
+            }
+            prop_assert_eq!(heap.len(), wheel.len());
+            prop_assert_eq!(heap.is_empty(), wheel.is_empty());
+        }
+    }
+
     /// `peek_time`/`peek` agree between the queues before every pop, and
     /// `len` stays in lockstep.
     #[test]
@@ -145,6 +194,20 @@ proptest! {
             prop_assert_eq!(heap.is_empty(), wheel.is_empty());
         }
     }
+}
+
+/// A NaN horizon compares false against every head time: `pop_due` must
+/// decline — on both queues — and leave the event in place.
+#[test]
+fn nan_horizon_pops_nothing_on_either_queue() {
+    let mut heap: HeapEventQueue<u32> = HeapEventQueue::new();
+    let mut wheel: EventQueue<u32> = EventQueue::new();
+    heap.push(f64::NEG_INFINITY, 0, 7);
+    wheel.push(f64::NEG_INFINITY, 0, 7);
+    assert!(heap.pop_due(f64::NAN).is_none());
+    assert!(wheel.pop_due(f64::NAN).is_none());
+    assert_eq!(heap.len(), 1);
+    assert_eq!(wheel.len(), 1);
 }
 
 #[test]
