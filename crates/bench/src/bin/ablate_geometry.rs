@@ -56,7 +56,7 @@ fn main() {
         t.push(&[
             (*name).to_owned(),
             format!("{:.1}", c.cost.time() * 1e6),
-            c.config.clone(),
+            c.config.to_string(),
             format!("{:.1}", f.cost.time() * 1e6),
             format!("{:.2}x", f.cost.time() / c.cost.time()),
         ]);

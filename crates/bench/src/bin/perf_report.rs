@@ -388,6 +388,34 @@ fn bench_fabric() -> FabricTiming {
     }
 }
 
+struct LintTiming {
+    wall_s: f64,
+    files_scanned: usize,
+    functions_indexed: usize,
+    call_edges: usize,
+}
+
+/// Wall-clock of one full `dcm-lint` workspace scan (lex + parse + call
+/// graph + every rule), recorded so the static-analysis gate's cost is
+/// part of the repo's perf trajectory: the item-level parser and graph
+/// traversals must stay cheap enough to run ahead of clippy on every CI
+/// invocation.
+fn bench_lint() -> LintTiming {
+    let t0 = Instant::now();
+    let out = dcm_lint::run(Path::new("."), false).expect("lint scan for timing");
+    let wall_s = t0.elapsed().as_secs_f64();
+    assert!(
+        out.summary.files_scanned > 50,
+        "lint timing scanned a truncated tree"
+    );
+    LintTiming {
+        wall_s,
+        files_scanned: out.summary.files_scanned,
+        functions_indexed: out.summary.functions_indexed,
+        call_edges: out.summary.call_edges,
+    }
+}
+
 fn safe_div(a: f64, b: f64) -> f64 {
     if b > 0.0 {
         a / b
@@ -457,6 +485,7 @@ struct Measured {
     cluster_ff: EngineRun,
     sweep: SweepTiming,
     fabric: FabricTiming,
+    lint: LintTiming,
     host_parallelism: usize,
 }
 
@@ -588,6 +617,24 @@ fn check_against_baseline(m: &Measured, baseline: &str) -> Vec<String> {
         println!("  skip fabric band: baseline predates the fabric section");
     }
 
+    // Lint scan wall-time: the static-analysis gate runs on every CI
+    // invocation, so a parser or graph-traversal blowup is a perf
+    // regression like any other. Guarded on the section existing.
+    if let Some(base_s) = json_section(baseline, "lint").and_then(|s| json_number(s, "wall_s")) {
+        checked += 1;
+        let line = format!(
+            "lint scan: {:.3} s wall vs baseline {base_s:.3}",
+            m.lint.wall_s
+        );
+        if m.lint.wall_s > base_s * CHECK_BAND {
+            failures.push(format!("FAIL {line} (band {CHECK_BAND}x)"));
+        } else {
+            println!("  ok   {line}");
+        }
+    } else {
+        println!("  skip lint band: baseline predates the lint section");
+    }
+
     // Sweep parallelism: a 1-core box measures ~1.0x by construction, so
     // only compare when both the baseline host and this host have cores
     // to scale onto.
@@ -677,6 +724,11 @@ fn render_json(m: &Measured) -> String {
         j,
         "  \"fabric\": {{\"collective_us_per_call\": {:.2}, \"multinode_us_per_call\": {:.2}}},",
         m.fabric.collective_us, m.fabric.multinode_us,
+    );
+    let _ = writeln!(
+        j,
+        "  \"lint\": {{\"wall_s\": {:.6}, \"files_scanned\": {}, \"functions_indexed\": {}, \"call_edges\": {}}},",
+        m.lint.wall_s, m.lint.files_scanned, m.lint.functions_indexed, m.lint.call_edges,
     );
     // A 1-core host's serial-vs-parallel ratio is scheduler noise, not a
     // parallelism signal: mark the row serial-equivalent (`null`) so
@@ -794,6 +846,12 @@ fn main() {
         fabric.collective_us, fabric.multinode_us,
     );
 
+    let lint = bench_lint();
+    println!(
+        "dcm-lint workspace scan: {:.3} s wall ({} files, {} functions, {} call edges)",
+        lint.wall_s, lint.files_scanned, lint.functions_indexed, lint.call_edges,
+    );
+
     let measured = Measured {
         costing,
         offline,
@@ -802,6 +860,7 @@ fn main() {
         cluster_ff,
         sweep,
         fabric,
+        lint,
         host_parallelism,
     };
 

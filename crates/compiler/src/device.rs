@@ -265,7 +265,7 @@ impl Device {
                 // Max, exp, sum, divide: two passes over the data, four
                 // chained vector ops per element.
                 let kernel = StreamKernel {
-                    name: "softmax".to_owned(),
+                    name: "softmax",
                     loads: 2,
                     stores: 1,
                     computes: 4,
@@ -322,7 +322,7 @@ impl Device {
 
     fn elementwise_cost(&self, kind: EwKind, elems: usize, dtype: DType) -> OpCost {
         let kernel = StreamKernel {
-            name: format!("{kind:?}"),
+            name: kind.name(),
             loads: kind.inputs(),
             stores: 1,
             computes: kind.computes_per_elem().max(1),
@@ -368,7 +368,7 @@ impl Device {
         }
         let extra = extra_inputs.saturating_sub(first_inputs.saturating_sub(1));
         let kernel = StreamKernel {
-            name: "fused-ew".to_owned(),
+            name: "fused-ew",
             loads: first_inputs + extra,
             stores: 1,
             computes: computes.max(1),

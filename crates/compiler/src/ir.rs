@@ -43,6 +43,20 @@ impl EwKind {
             _ => 1,
         }
     }
+
+    /// Kernel name for reports — identical to the `Debug` rendering, but
+    /// static so cost evaluation never allocates (lint rule A1).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EwKind::Add => "Add",
+            EwKind::Mul => "Mul",
+            EwKind::Relu => "Relu",
+            EwKind::Silu => "Silu",
+            EwKind::RmsNorm => "RmsNorm",
+            EwKind::Copy => "Copy",
+        }
+    }
 }
 
 /// One operator in a lowered graph.

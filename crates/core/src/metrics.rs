@@ -195,6 +195,7 @@ impl LogHistogram {
             let idx = Self::bin_index(sample);
             match self.bins.binary_search_by_key(&idx, |&(i, _)| i) {
                 Ok(i) => self.bins[i].1 += 1,
+                // dcm-lint: allow(A1) bin count is bounded by the log-bucket range, ~128 worst case
                 Err(i) => self.bins.insert(i, (idx, 1)),
             }
         } else {
@@ -285,6 +286,7 @@ impl LogHistogram {
         for &(idx, c) in &other.bins {
             match self.bins.binary_search_by_key(&idx, |&(i, _)| i) {
                 Ok(i) => self.bins[i].1 += c,
+                // dcm-lint: allow(A1) merge inserts at most the bounded log-bucket range, ~128 worst case
                 Err(i) => self.bins.insert(i, (idx, c)),
             }
         }
@@ -388,6 +390,7 @@ impl LatencyRecorder {
         match &mut self.samples {
             Samples::Exact(v) => {
                 assert!(!sample.is_nan(), "cannot record NaN");
+                // dcm-lint: allow(A1) Exact mode is an opt-in debugging aid; production runs use Histogram
                 v.push(sample);
             }
             Samples::Histogram(h) => h.record(sample),

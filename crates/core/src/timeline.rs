@@ -52,6 +52,7 @@ pub fn serial_makespan(slices: &[(f64, f64)]) -> f64 {
 pub fn slice_evenly(a: f64, b: f64, n: usize) -> Vec<(f64, f64)> {
     assert!(n > 0, "cannot slice into zero pieces");
     let n_f = n as f64;
+    // dcm-lint: allow(A1) returns a fresh slice list by API contract; callers cache it per (op, n)
     (0..n).map(|_| (a / n_f, b / n_f)).collect()
 }
 

@@ -1,0 +1,364 @@
+//! Workspace-wide approximate call graph over [`crate::parser`] output.
+//!
+//! Resolution is **name + receiver based** and deliberately one-sided:
+//! the graph may contain edges the real program never takes, but must
+//! not be missing edges the real program has (within the constructs the
+//! parser sees). The rules built on it (`D3` reachability of
+//! nondeterminism, `A1` allocation in hot paths) are "no path may
+//! exist" rules, so over-approximation yields false positives — which a
+//! human reviews and pragmas — never silent false negatives.
+//!
+//! Resolution policy, in order:
+//!
+//! * `Qual::name(...)` (path call): every `fn name` in an `impl Qual`
+//!   block, anywhere in the workspace; when no type `Qual` is known
+//!   (e.g. `Qual` is a module or an std type), every *free* `fn name`
+//!   instead (`mod helpers { pub fn f() }` called as `helpers::f()`).
+//! * `recv.name(...)` (method call): when the receiver is literally
+//!   `self`, the enclosing impl type's `name` method if it exists, else
+//!   — and for every other receiver — **every** workspace method named
+//!   `name` (the conservative step: receiver types are not inferred).
+//! * `name(...)` (bare call): every free `fn name` in the workspace.
+//! * Calls that resolve to nothing are external (std or shims) and
+//!   become graph leaves; macro invocations are always leaves.
+//!
+//! Unsound by design (documented in DESIGN.md §3.7): calls materialized
+//! by macro *expansion*, function pointers / closures passed as values
+//! and invoked elsewhere, and trait-object dispatch to impls whose
+//! method name differs from the call-site name (impossible in Rust) are
+//! the only ways a real call escapes the graph. Test code (`tests/`
+//! paths and `#[cfg(test)]` regions) is excluded entirely: the hazards
+//! policed here are about simulation results, which tests only consume.
+
+use crate::parser::{Call, CallKind, FnDef, ParsedFile};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// One function in the graph: where it lives plus its parsed definition.
+#[derive(Debug)]
+pub struct Node {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    pub def: FnDef,
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    pub nodes: Vec<Node>,
+    /// Adjacency: `edges[i]` = sorted, deduplicated callee node indices.
+    edges: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph from parsed files (`(path, parsed)` pairs).
+    /// Functions in test regions are excluded; callers pass only
+    /// non-test-path files.
+    ///
+    /// `opaque_methods` are method names treated as external when the
+    /// receiver cannot be pinned (not `self`, not a known type path):
+    /// names like `push`/`insert`/`collect` are overwhelmingly std
+    /// container calls, and resolving them to every same-named workspace
+    /// method would wire, say, a `Vec::push` on a local into
+    /// `Timeline::push` — an edge the program cannot take. Call *sites*
+    /// with these names are still visible to rules (they stay in
+    /// `FnDef::calls`); only the traversal edge is dropped.
+    #[must_use]
+    pub fn build(files: &[(String, &ParsedFile)], opaque_methods: &[&str]) -> Self {
+        let mut nodes = Vec::new();
+        for (path, parsed) in files {
+            for def in &parsed.fns {
+                if def.is_test {
+                    continue;
+                }
+                nodes.push(Node {
+                    path: path.clone(),
+                    def: def.clone(),
+                });
+            }
+        }
+
+        // Name indices. BTreeMap keeps iteration (and therefore edge
+        // order and any diagnostics) deterministic.
+        let mut typed: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            match &n.def.self_ty {
+                Some(ty) => {
+                    typed.entry((ty, &n.def.name)).or_default().push(i);
+                    methods.entry(&n.def.name).or_default().push(i);
+                }
+                None => free.entry(&n.def.name).or_default().push(i),
+            }
+        }
+
+        let mut edges: Vec<Vec<usize>> = Vec::with_capacity(nodes.len());
+        for n in &nodes {
+            let mut out: Vec<usize> = Vec::new();
+            for call in &n.def.calls {
+                out.extend(resolve(
+                    call,
+                    opaque_methods,
+                    &nodes,
+                    &typed,
+                    &methods,
+                    &free,
+                ));
+            }
+            out.sort_unstable();
+            out.dedup();
+            edges.push(out);
+        }
+        CallGraph { nodes, edges }
+    }
+
+    /// Total number of resolved call edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Node indices whose display name (`Type::name` / `name`) satisfies
+    /// `pred`.
+    pub fn find<F: Fn(&Node) -> bool>(&self, pred: F) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| pred(&self.nodes[i]))
+            .collect()
+    }
+
+    /// BFS from `roots`; returns, for every node, `Some(parent)` when
+    /// reachable (roots point to themselves). Deterministic: roots are
+    /// visited in sorted order and adjacency lists are sorted.
+    #[must_use]
+    pub fn reachable_from(&self, roots: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut sorted_roots: Vec<usize> = roots.to_vec();
+        sorted_roots.sort_unstable();
+        sorted_roots.dedup();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in &sorted_roots {
+            if parent[r].is_none() {
+                parent[r] = Some(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for &j in &self.edges[i] {
+                if parent[j].is_none() {
+                    parent[j] = Some(i);
+                    queue.push_back(j);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The call chain `root → ... → node` implied by a parent map, as
+    /// display names. Truncated in the middle past 6 hops.
+    #[must_use]
+    pub fn chain(&self, parent: &[Option<usize>], node: usize) -> String {
+        let mut rev = vec![node];
+        let mut cur = node;
+        while let Some(p) = parent[cur] {
+            if p == cur {
+                break;
+            }
+            rev.push(p);
+            cur = p;
+        }
+        rev.reverse();
+        let names: Vec<String> = rev.iter().map(|&i| self.nodes[i].def.display()).collect();
+        if names.len() > 6 {
+            let head = &names[..3];
+            let tail = &names[names.len() - 2..];
+            format!("{} → … → {}", head.join(" → "), tail.join(" → "))
+        } else {
+            names.join(" → ")
+        }
+    }
+}
+
+/// Resolve one call site to candidate definition indices (see the
+/// module docs for the policy).
+fn resolve(
+    call: &Call,
+    opaque_methods: &[&str],
+    nodes: &[Node],
+    typed: &BTreeMap<(&str, &str), Vec<usize>>,
+    methods: &BTreeMap<&str, Vec<usize>>,
+    free: &BTreeMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    // Name-only fallback sets are pruned by argument count: a 0-argument
+    // `.time()` cannot land on a 3-parameter `FlowTransport::time`.
+    // Pruning only applies when both sides counted confidently; pinned
+    // (type-matched) resolutions are never pruned — there a mismatch
+    // means *our* count is wrong, not the edge.
+    let by_arity = |v: Vec<usize>| -> Vec<usize> {
+        let Some(a) = call.arity else { return v };
+        v.into_iter()
+            .filter(|&i| nodes[i].def.arity.is_none_or(|d| d == a))
+            .collect()
+    };
+    let name = call.name.as_str();
+    match call.kind {
+        CallKind::Macro => Vec::new(),
+        CallKind::Bare => by_arity(free.get(name).cloned().unwrap_or_default()),
+        CallKind::Path => match &call.qual {
+            Some(q) => {
+                if let Some(v) = typed.get(&(q.as_str(), name)) {
+                    v.clone()
+                } else if typed.keys().any(|(ty, _)| ty == q) {
+                    // `Qual` is a known type but has no such method in
+                    // the workspace (inherent std impl, derive, etc.):
+                    // external.
+                    Vec::new()
+                } else {
+                    // `Qual` is a module (or an external type): try free
+                    // functions by name.
+                    by_arity(free.get(name).cloned().unwrap_or_default())
+                }
+            }
+            None => by_arity(free.get(name).cloned().unwrap_or_default()),
+        },
+        CallKind::Method => {
+            // `self.name()`: the enclosing impl's method wins when it
+            // exists; otherwise fall through to the conservative set
+            // (the method may come from a trait impl'd elsewhere) —
+            // except for the opaque std-container names.
+            if let Some(ty) = &call.qual {
+                if let Some(v) = typed.get(&(ty.as_str(), name)) {
+                    return v.clone();
+                }
+            }
+            if opaque_methods.contains(&name) {
+                Vec::new()
+            } else {
+                by_arity(methods.get(name).cloned().unwrap_or_default())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_regions};
+    use crate::parser::parse;
+
+    fn graph(srcs: &[(&str, &str)]) -> CallGraph {
+        let parsed: Vec<(String, ParsedFile)> = srcs
+            .iter()
+            .map(|(p, s)| {
+                let f = lex(s);
+                let r = test_regions(&f.tokens);
+                ((*p).to_owned(), parse(&f.tokens, &r))
+            })
+            .collect();
+        let refs: Vec<(String, &ParsedFile)> = parsed.iter().map(|(p, f)| (p.clone(), f)).collect();
+        CallGraph::build(&refs, &[])
+    }
+
+    fn idx(g: &CallGraph, display: &str) -> usize {
+        g.find(|n| n.def.display() == display)
+            .first()
+            .copied()
+            .unwrap_or_else(|| panic!("no node {display}"))
+    }
+
+    #[test]
+    fn bare_calls_resolve_to_free_fns_across_files() {
+        let g = graph(&[
+            ("a.rs", "fn caller() { helper(); }"),
+            ("b.rs", "pub fn helper() { leaf(); } fn leaf() {}"),
+        ]);
+        let reach = g.reachable_from(&[idx(&g, "caller")]);
+        assert!(reach[idx(&g, "helper")].is_some());
+        assert!(reach[idx(&g, "leaf")].is_some());
+    }
+
+    #[test]
+    fn self_method_calls_prefer_the_impl_type() {
+        let g = graph(&[(
+            "a.rs",
+            "impl A { fn go(&self) { self.step(); } fn step(&self) {} }\n\
+             impl B { fn step(&self) { bad(); } }\n\
+             fn bad() {}",
+        )]);
+        let reach = g.reachable_from(&[idx(&g, "A::go")]);
+        assert!(reach[idx(&g, "A::step")].is_some());
+        assert!(
+            reach[idx(&g, "B::step")].is_none(),
+            "self.step() must pin to the impl type"
+        );
+    }
+
+    #[test]
+    fn unknown_receiver_methods_resolve_conservatively_to_all() {
+        let g = graph(&[(
+            "a.rs",
+            "fn caller(x: Thing) { x.step(); }\n\
+             impl A { fn step(&self) {} }\n\
+             impl B { fn step(&self) {} }",
+        )]);
+        let reach = g.reachable_from(&[idx(&g, "caller")]);
+        assert!(reach[idx(&g, "A::step")].is_some());
+        assert!(reach[idx(&g, "B::step")].is_some());
+    }
+
+    #[test]
+    fn path_calls_resolve_typed_first_then_free() {
+        let g = graph(&[(
+            "a.rs",
+            "fn caller() { Engine::run(); helpers::tick(); }\n\
+             impl Engine { fn run() {} }\n\
+             mod helpers { pub fn tick() {} }",
+        )]);
+        let reach = g.reachable_from(&[idx(&g, "caller")]);
+        assert!(reach[idx(&g, "Engine::run")].is_some());
+        assert!(reach[idx(&g, "tick")].is_some());
+    }
+
+    #[test]
+    fn known_type_without_the_method_is_external_not_free() {
+        // `Engine::new` with no workspace `impl Engine { fn new }` but a
+        // free fn `new` elsewhere: Engine is a known type, so the call
+        // must NOT leak to the unrelated free fn.
+        let g = graph(&[(
+            "a.rs",
+            "fn caller() { Engine::new(); }\n\
+             impl Engine { fn run() {} }\n\
+             fn new() { hazard(); }\n\
+             fn hazard() {}",
+        )]);
+        let reach = g.reachable_from(&[idx(&g, "caller")]);
+        assert!(reach[idx(&g, "hazard")].is_none());
+    }
+
+    #[test]
+    fn test_functions_are_excluded_from_the_graph() {
+        let g = graph(&[(
+            "a.rs",
+            "fn lib() {}\n#[cfg(test)]\nmod tests { fn t() { lib(); } }",
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+    }
+
+    #[test]
+    fn chains_render_root_to_node() {
+        let g = graph(&[(
+            "a.rs",
+            "impl E { fn run(&self) { a(); } }\nfn a() { b(); }\nfn b() {}",
+        )]);
+        let reach = g.reachable_from(&[idx(&g, "E::run")]);
+        assert_eq!(g.chain(&reach, idx(&g, "b")), "E::run → a → b");
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_unreachable() {
+        let g = graph(&[("a.rs", "fn island() { own(); } fn own() {} fn root() {}")]);
+        let reach = g.reachable_from(&[idx(&g, "root")]);
+        assert!(reach[idx(&g, "island")].is_none());
+        assert!(reach[idx(&g, "own")].is_none());
+    }
+}

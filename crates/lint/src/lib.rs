@@ -18,13 +18,20 @@
 //! | `F2` | bare float `==` outside tests                                |
 //! | `C1` | unjustified numeric `as` casts in simulation crates          |
 //! | `P1` | `unwrap()`/`expect()` in library crates outside tests        |
+//! | `D3` | nondeterminism reachable from a sim entry point (call graph) |
+//! | `U1` | mixed unit suffixes across `+`/`-`/comparison operands       |
+//! | `A1` | allocation reachable from the per-event hot paths            |
 //!
 //! Pure std, offline, no dependencies — the linter must not depend on
 //! anything it judges. See [`rules`] for the engine, [`lexer`] for the
-//! hand-rolled token stream it runs on, [`baseline`] for `lint.allow`.
+//! hand-rolled token stream it runs on, [`parser`] for the item-level
+//! AST, [`callgraph`] for D3/A1 resolution, [`baseline`] for
+//! `lint.allow`.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 pub mod scan;
@@ -71,11 +78,11 @@ impl Outcome {
 /// error, not a silent skip — silence would fake cleanliness).
 pub fn run(root: &Path, fix_baseline: bool) -> io::Result<Outcome> {
     let files = scan::workspace_files(root)?;
-    let mut all: Vec<Finding> = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for rel in &files {
-        let src = fs::read_to_string(root.join(rel))?;
-        all.extend(rules::lint_source(rel, &src));
+        sources.push((rel.clone(), fs::read_to_string(root.join(rel))?));
     }
+    let (all, stats) = rules::lint_workspace(&sources);
 
     // LINT diagnostics bypass the baseline entirely.
     let (meta, baselinable): (Vec<Finding>, Vec<Finding>) =
@@ -83,6 +90,8 @@ pub fn run(root: &Path, fix_baseline: bool) -> io::Result<Outcome> {
 
     let mut summary = Summary {
         files_scanned: files.len(),
+        functions_indexed: stats.functions_indexed,
+        call_edges: stats.call_edges,
         ..Summary::default()
     };
 

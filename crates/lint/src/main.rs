@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! dcm-lint [--root DIR] [--json PATH] [--fix-baseline] [--quiet]
+//! dcm-lint --validate-report PATH
 //! ```
 //!
 //! Exit codes: `0` lint-clean, `1` findings (or stale baseline), `2`
 //! usage/IO error. Run from the workspace root (what `cargo run -p
 //! dcm-lint` does); `tools/ci.sh` runs it ahead of clippy so determinism
-//! hazards fail fast.
+//! hazards fail fast, then re-reads the report it wrote through
+//! `--validate-report` so schema drift fails the same run.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -17,6 +19,7 @@ struct Args {
     json: PathBuf,
     fix_baseline: bool,
     quiet: bool,
+    validate_report: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,6 +28,7 @@ fn parse_args() -> Result<Args, String> {
         json: PathBuf::from("results/lint_report.json"),
         fix_baseline: false,
         quiet: false,
+        validate_report: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -37,9 +41,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fix-baseline" => args.fix_baseline = true,
             "--quiet" | "-q" => args.quiet = true,
+            "--validate-report" => {
+                args.validate_report = Some(PathBuf::from(
+                    it.next().ok_or("--validate-report needs a path")?,
+                ));
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: dcm-lint [--root DIR] [--json PATH] [--fix-baseline] [--quiet]"
+                    "usage: dcm-lint [--root DIR] [--json PATH] [--fix-baseline] [--quiet]\n\
+                     \u{20}      dcm-lint --validate-report PATH"
                         .to_owned(),
                 );
             }
@@ -47,6 +57,31 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// Check an existing `lint_report.json` against the documented schema
+/// (EXPERIMENTS.md): exit 0 on conformance, 1 with a diagnostic on drift.
+fn validate_report(path: &PathBuf) -> ExitCode {
+    let json = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dcm-lint: cannot read {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match dcm_lint::report::validate(&json) {
+        Ok(()) => {
+            println!("dcm-lint: {} conforms to schema v2", path.display());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!(
+                "dcm-lint: {} violates the report schema: {msg}",
+                path.display()
+            );
+            ExitCode::from(1)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -57,6 +92,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &args.validate_report {
+        return validate_report(path);
+    }
 
     let outcome = match dcm_lint::run(&args.root, args.fix_baseline) {
         Ok(o) => o,

@@ -18,6 +18,10 @@ pub struct Summary {
     pub findings: usize,
     pub baselined: usize,
     pub stale_baseline: usize,
+    /// Non-test functions indexed into the call graph (schema v2).
+    pub functions_indexed: usize,
+    /// Resolved caller→callee edges in the call graph (schema v2).
+    pub call_edges: usize,
 }
 
 /// Render the human-readable report. Empty findings render a single
@@ -52,7 +56,7 @@ pub fn render_text(findings: &[Finding], summary: Summary) -> String {
 /// Render the machine-readable report (`results/lint_report.json`).
 #[must_use]
 pub fn render_json(findings: &[Finding], summary: Summary) -> String {
-    let mut out = String::from("{\n  \"tool\": \"dcm-lint\",\n  \"schema_version\": 1,\n");
+    let mut out = String::from("{\n  \"tool\": \"dcm-lint\",\n  \"schema_version\": 2,\n");
     out.push_str("  \"rules\": [\n");
     for (i, r) in RULES.iter().enumerate() {
         out.push_str(&format!(
@@ -76,10 +80,312 @@ pub fn render_json(findings: &[Finding], summary: Summary) -> String {
     }
     out.push_str(&format!(
         "  ],\n  \"summary\": {{\"files_scanned\": {}, \"findings\": {}, \"baselined\": {}, \
-         \"stale_baseline\": {}}}\n}}\n",
-        summary.files_scanned, summary.findings, summary.baselined, summary.stale_baseline
+         \"stale_baseline\": {}, \"functions_indexed\": {}, \"call_edges\": {}}}\n}}\n",
+        summary.files_scanned,
+        summary.findings,
+        summary.baselined,
+        summary.stale_baseline,
+        summary.functions_indexed,
+        summary.call_edges
     ));
     out
+}
+
+/// Validate a rendered `lint_report.json` against the schema EXPERIMENTS.md
+/// documents (v2). Returns the first violation found. Hand-rolled JSON
+/// reader, pure std — the linter must not depend on crates it judges.
+///
+/// # Errors
+/// A human-readable description of the first schema violation.
+pub fn validate(json: &str) -> Result<(), String> {
+    let mut p = JsonParser {
+        s: json.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.i != p.s.len() {
+        return Err(format!("trailing content at byte {}", p.i));
+    }
+    let top = v.as_obj().ok_or("top level must be an object")?;
+
+    match get(top, "tool") {
+        Some(Json::Str(t)) if t == "dcm-lint" => {}
+        other => return Err(format!("\"tool\" must be \"dcm-lint\", got {other:?}")),
+    }
+    match get(top, "schema_version") {
+        // dcm-lint: allow(F2) schema versions are small exact integers; 2.0 is bit-exact in f64
+        Some(Json::Num(n)) if *n == 2.0 => {}
+        other => return Err(format!("\"schema_version\" must be 2, got {other:?}")),
+    }
+
+    let rules = get(top, "rules")
+        .and_then(Json::as_arr)
+        .ok_or("\"rules\" must be an array")?;
+    for (i, r) in rules.iter().enumerate() {
+        let obj = r
+            .as_obj()
+            .ok_or_else(|| format!("rules[{i}] must be an object"))?;
+        for key in ["id", "summary"] {
+            if !matches!(get(obj, key), Some(Json::Str(_))) {
+                return Err(format!("rules[{i}].{key} must be a string"));
+            }
+        }
+    }
+
+    let findings = get(top, "findings")
+        .and_then(Json::as_arr)
+        .ok_or("\"findings\" must be an array")?;
+    for (i, f) in findings.iter().enumerate() {
+        let obj = f
+            .as_obj()
+            .ok_or_else(|| format!("findings[{i}] must be an object"))?;
+        for key in ["rule", "path", "message", "excerpt"] {
+            if !matches!(get(obj, key), Some(Json::Str(_))) {
+                return Err(format!("findings[{i}].{key} must be a string"));
+            }
+        }
+        // dcm-lint: allow(F2) fract() == 0.0 is the standard exact is-integer test for JSON numbers
+        if !matches!(get(obj, "line"), Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 0.0) {
+            return Err(format!("findings[{i}].line must be a non-negative integer"));
+        }
+        if let Some(Json::Str(rule)) = get(obj, "rule") {
+            let known =
+                rule == "LINT" || rule == "STALE" || RULES.iter().any(|r| r.id == rule.as_str());
+            if !known {
+                return Err(format!(
+                    "findings[{i}].rule `{rule}` is not a known rule id"
+                ));
+            }
+        }
+    }
+
+    let summary = get(top, "summary")
+        .and_then(Json::as_obj)
+        .ok_or("\"summary\" must be an object")?;
+    let mut counts = [0.0; 6];
+    let keys = [
+        "files_scanned",
+        "findings",
+        "baselined",
+        "stale_baseline",
+        "functions_indexed",
+        "call_edges",
+    ];
+    for (slot, key) in counts.iter_mut().zip(keys) {
+        match get(summary, key) {
+            // dcm-lint: allow(F2) fract() == 0.0 is the standard exact is-integer test for JSON numbers
+            Some(Json::Num(n)) if n.fract() == 0.0 && *n >= 0.0 => *slot = *n,
+            other => {
+                return Err(format!(
+                    "summary.{key} must be a non-negative integer, got {other:?}"
+                ))
+            }
+        }
+    }
+    // dcm-lint: allow(C1) exact small integer count, f64 holds it losslessly
+    if counts[1] != findings.len() as f64 {
+        return Err(format!(
+            "summary.findings is {} but the findings array has {} entries",
+            counts[1],
+            findings.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Minimal JSON value for [`validate`].
+#[derive(Debug)]
+enum Json {
+    Null,
+    Bool,
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Recursive-descent JSON reader: exactly the subset the report writer
+/// emits (no exponent-free guarantees needed — floats accepted).
+struct JsonParser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.s.get(self.i).is_some_and(u8::is_ascii_whitespace) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.s.get(self.i) == Some(&b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.s.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool),
+            Some(b'f') => self.literal("false", Json::Bool),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.s.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            out.push((key, self.value()?));
+            self.skip_ws();
+            match self.s.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.s.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.s.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.s.get(self.i) {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.s.get(self.i).copied();
+                    self.i += 1;
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .s
+                                .get(self.i..self.i + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.i))?;
+                            self.i += 4;
+                            // Surrogate pairs never appear in our writer's
+                            // output (it only \u-escapes control chars).
+                            out.push(char::from_u32(hex).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole code point.
+                    let rest = &self.s[self.i..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| format!("invalid utf-8 at byte {}", self.i))?;
+                    let c = s.chars().next().ok_or("unexpected end of string")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .s
+            .get(self.i)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
 }
 
 fn comma(i: usize, len: usize) -> &'static str {

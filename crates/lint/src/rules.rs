@@ -14,7 +14,10 @@
 //! A pragma must carry a non-empty reason and name only known rule ids;
 //! violations surface as `LINT` findings, which can never be baselined.
 
+use crate::callgraph::CallGraph;
 use crate::lexer::{lex, test_regions, LexedFile, Token, TokenKind};
+use crate::parser::{self, CallKind, ParsedFile};
+use std::collections::BTreeMap;
 
 /// Crates whose results are pinned bit-identically (the five golden
 /// serving reports, CSV diffs, paper-figure crossovers). Rules D1 and C1
@@ -80,7 +83,74 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no unwrap()/expect() in library crates outside tests (bench binaries exempt): \
                   return Result or document the invariant",
     },
+    RuleInfo {
+        id: "D3",
+        summary: "call-graph purity: no call path from a sim entry point (ServingEngine::run*, \
+                  Cluster::run*, FlowSim methods) may reach wall-clock/entropy sources or \
+                  hash-ordered containers — the transitive closure of D1/D2, crossing crate \
+                  boundaries the textual rules cannot see",
+    },
+    RuleInfo {
+        id: "U1",
+        summary: "unit-suffix consistency: identifiers carrying _s/_bytes/_tokens/_tps/_flops \
+                  (and _per_<unit>) suffixes must not mix across +/-/comparison operands in the \
+                  same expression",
+    },
+    RuleInfo {
+        id: "A1",
+        summary: "no allocation calls (Vec::new/with_capacity, Box::new, push/insert/collect/\
+                  to_vec, vec!/format!) in functions reachable from the per-event hot paths of \
+                  DESIGN.md §3.6/§3.8: the steady state must be allocation-free, statically",
+    },
 ];
+
+/// `D3` entry points: `(impl type, method-name prefix)`. An empty prefix
+/// matches every method of the type.
+const SIM_ENTRY_POINTS: &[(&str, &str)] = &[
+    ("ServingEngine", "run"),
+    ("Cluster", "run"),
+    ("FlowSim", ""),
+];
+
+/// `A1` roots: the per-event hot-path functions DESIGN.md §3.6/§3.8
+/// names in its steady-state allocation contract (`(impl type, method)`;
+/// the runtime half is `tests/tests/alloc_steady_state.rs`).
+const HOT_PATH_ROOTS: &[(&str, &str)] = &[
+    ("EventQueue", "push"),
+    ("EventQueue", "pop"),
+    ("EventQueue", "pop_due"),
+    ("EventQueue", "peek"),
+    ("EventQueue", "peek_time"),
+    ("SeqSlab", "insert"),
+    ("SeqSlab", "remove"),
+    ("SeqSlab", "set_remaining"),
+    ("SeqSlab", "set_produced"),
+    ("SeqSlab", "set_kv_tokens"),
+    ("BatchStats", "add"),
+    ("BatchStats", "remove"),
+    ("BatchStats", "grow"),
+    ("BatchStats", "grow_by"),
+    ("PagedAttention", "decode_cost_from_stats"),
+    ("PagedKvCache", "append_token"),
+    ("PagedKvCache", "append_tokens"),
+    ("LatencyRecorder", "record"),
+];
+
+/// Method names `A1` treats as allocation markers.
+const ALLOC_METHODS: &[&str] = &["push", "insert", "collect", "to_vec"];
+
+/// `Type::fn` path calls `A1` treats as allocation markers.
+const ALLOC_PATH_CALLS: &[(&str, &str)] = &[
+    ("Vec", "new"),
+    ("Vec", "with_capacity"),
+    ("Box", "new"),
+    ("String", "new"),
+    ("String", "with_capacity"),
+    ("String", "from"),
+];
+
+/// Macro invocations `A1` treats as allocation markers.
+const ALLOC_MACROS: &[&str] = &["vec!", "format!", "to_string!"];
 
 /// Is `id` a suppressible rule id?
 #[must_use]
@@ -143,21 +213,97 @@ impl<'a> FileClass<'a> {
     }
 }
 
-/// Lint one file's source. Returns the findings that survive pragma
-/// suppression (baseline subtraction happens at the workspace level, in
-/// [`crate::run`]), including any `LINT` meta-diagnostics about the
-/// pragmas themselves.
+/// Cross-file statistics of one workspace analysis, surfaced in the
+/// JSON report (`schema_version` 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Non-test functions indexed into the call graph.
+    pub functions_indexed: usize,
+    /// Resolved caller→callee edges (deduplicated per caller).
+    pub call_edges: usize,
+}
+
+/// One lexed+parsed file, ready for both token-stream and call-graph
+/// analysis.
+struct FileData<'a> {
+    rel_path: &'a str,
+    class: FileClass<'a>,
+    lexed: LexedFile,
+    in_test: Vec<bool>,
+    parsed: ParsedFile,
+}
+
+/// Lint a whole workspace's sources (`(rel_path, source)` pairs): the
+/// per-file token rules (D1/D2/F1/F2/C1/P1/U1), the pragma hygiene
+/// meta-rule, and the workspace-wide call-graph rules (D3/A1). Returns
+/// findings surviving pragma suppression (baseline subtraction happens
+/// in [`crate::run`]) plus call-graph statistics.
+#[must_use]
+pub fn lint_workspace(files: &[(String, String)]) -> (Vec<Finding>, WorkspaceStats) {
+    let data: Vec<FileData<'_>> = files
+        .iter()
+        .map(|(path, src)| {
+            let lexed = lex(src);
+            let in_test = test_regions(&lexed.tokens);
+            let parsed = parser::parse(&lexed.tokens, &in_test);
+            FileData {
+                rel_path: path,
+                class: FileClass::of(path),
+                lexed,
+                in_test,
+                parsed,
+            }
+        })
+        .collect();
+
+    let mut findings = Vec::new();
+    for fd in &data {
+        findings.extend(scan_rules(fd.rel_path, &fd.lexed, &fd.in_test, fd.class));
+        findings.extend(unit_findings(fd.rel_path, &fd.lexed, &fd.in_test, fd.class));
+        findings.extend(pragma_diagnostics(fd.rel_path, &fd.lexed));
+    }
+    let (graph_findings, stats) = graph_rules(&data);
+    findings.extend(graph_findings);
+
+    // Pragma suppression and excerpts are per-file; graph findings are
+    // attributed to concrete file:line sites, so the same machinery
+    // covers them.
+    let by_path: BTreeMap<&str, &FileData<'_>> = data.iter().map(|fd| (fd.rel_path, fd)).collect();
+    findings.retain(|f| {
+        if f.rule == "LINT" {
+            return true;
+        }
+        let Some(fd) = by_path.get(f.path.as_str()) else {
+            return true;
+        };
+        !fd.lexed.pragmas.iter().any(|p| {
+            let covers_line = if p.own_line {
+                p.line + 1 == f.line
+            } else {
+                p.line == f.line
+            };
+            covers_line && !p.reason.is_empty() && p.rules.iter().any(|r| r == f.rule)
+        })
+    });
+    for f in findings.iter_mut() {
+        if f.line >= 1 {
+            if let Some(fd) = by_path.get(f.path.as_str()) {
+                if let Some(l) = fd.lexed.lines.get(f.line as usize - 1) {
+                    f.excerpt = l.trim().to_owned();
+                }
+            }
+        }
+    }
+    findings.sort();
+    (findings, stats)
+}
+
+/// Lint one file's source as a single-file workspace. Kept as the unit
+/// seam: token rules behave identically, and call-graph rules see only
+/// this file's functions.
 #[must_use]
 pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
-    let class = FileClass::of(rel_path);
-    let file = lex(src);
-    let in_test = test_regions(&file.tokens);
-
-    let mut findings = scan_rules(rel_path, &file, &in_test, class);
-    findings.extend(pragma_diagnostics(rel_path, &file));
-    suppress(&mut findings, &file);
-    attach_excerpts(&mut findings, &file);
-    findings.sort();
+    let (findings, _) = lint_workspace(&[(rel_path.to_owned(), src.to_owned())]);
     findings
 }
 
@@ -314,33 +460,235 @@ fn pragma_diagnostics(rel_path: &str, file: &LexedFile) -> Vec<Finding> {
     out
 }
 
-/// Drop findings covered by a well-formed pragma: same line, or the line
-/// directly below an own-line pragma. `LINT` findings are never dropped.
-fn suppress(findings: &mut Vec<Finding>, file: &LexedFile) {
-    findings.retain(|f| {
-        if f.rule == "LINT" {
-            return true;
+/// Rule `U1` — unit-suffix consistency. The parse is token-local, no
+/// expression grammar: an operand is read off as the identifier (or the
+/// final identifier of a `a.b.c` field chain) directly adjacent to a
+/// `+`/`-`/comparison operator. Both operands must carry *known* unit
+/// suffixes for the rule to fire, and any adjacent `*`/`/` (which
+/// legitimately changes units) or call/paren boundary (unknown result
+/// unit) silences it — conservative in the direction of false
+/// negatives, never spurious noise.
+fn unit_findings(
+    rel_path: &str,
+    file: &LexedFile,
+    in_test: &[bool],
+    class: FileClass<'_>,
+) -> Vec<Finding> {
+    if !class.is_sim || class.is_test_path {
+        return Vec::new();
+    }
+    const OPS: &[&str] = &["+", "-", "<", ">", "<=", ">=", "==", "!="];
+    let toks = &file.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if in_test[i] {
+            continue;
         }
-        !file.pragmas.iter().any(|p| {
-            let covers_line = if p.own_line {
-                p.line + 1 == f.line
-            } else {
-                p.line == f.line
-            };
-            covers_line && !p.reason.is_empty() && p.rules.iter().any(|r| r == f.rule)
-        })
-    });
-}
-
-/// Fill each finding's `excerpt` with its trimmed source line.
-fn attach_excerpts(findings: &mut [Finding], file: &LexedFile) {
-    for f in findings.iter_mut() {
-        if f.line >= 1 {
-            if let Some(l) = file.lines.get(f.line as usize - 1) {
-                f.excerpt = l.trim().to_owned();
-            }
+        let Some(op) = OPS.iter().find(|op| t.is_punct(op)) else {
+            continue;
+        };
+        let Some(left) = unit_operand_left(toks, i) else {
+            continue;
+        };
+        let Some(right) = unit_operand_right(toks, i) else {
+            continue;
+        };
+        if left.1 != right.1 {
+            out.push(Finding {
+                path: rel_path.to_owned(),
+                line: t.line,
+                rule: "U1",
+                message: format!(
+                    "unit mismatch across `{op}`: `{}` carries unit `{}` but `{}` carries \
+                     `{}` — adding or comparing different units is a semantics bug (convert \
+                     explicitly, or pragma with the invariant)",
+                    left.0, left.1, right.0, right.1
+                ),
+                excerpt: String::new(),
+            });
         }
     }
+    out
+}
+
+/// The recognized unit of an identifier's trailing suffix, if any.
+/// `_per_<unit>` forms a distinct rate unit so `tokens_per_s` never
+/// collides with a plain `_s` duration.
+fn unit_of(name: &str) -> Option<String> {
+    const UNITS: &[&str] = &["s", "bytes", "tokens", "tps", "flops"];
+    let lower = name.to_ascii_lowercase();
+    let (stem, last) = lower.rsplit_once('_')?;
+    if !UNITS.contains(&last) {
+        return None;
+    }
+    let rate = match stem.rsplit_once('_') {
+        Some((_, prev)) => prev == "per",
+        None => stem == "per",
+    };
+    Some(if rate {
+        format!("per_{last}")
+    } else {
+        last.to_owned()
+    })
+}
+
+/// The left operand's `(name, unit)` when it is an unambiguous
+/// unit-suffixed identifier (or field chain ending in one).
+fn unit_operand_left(toks: &[Token], op: usize) -> Option<(String, String)> {
+    if op == 0 {
+        return None;
+    }
+    let carrier = toks[op - 1].ident()?;
+    let unit = unit_of(carrier)?;
+    // Walk back over a `recv.field.field` chain to its head.
+    let mut k = op - 1;
+    while k >= 2 && toks[k - 1].is_punct(".") && toks[k - 2].ident().is_some() {
+        k -= 2;
+    }
+    // A `*`/`/` ahead of the chain changes the unit; a `.` means the
+    // chain hangs off a call/index result we cannot see through.
+    if k >= 1 {
+        let before = &toks[k - 1];
+        if before.is_punct("*") || before.is_punct("/") || before.is_punct(".") {
+            return None;
+        }
+    }
+    Some((carrier.to_owned(), unit))
+}
+
+/// The right operand's `(name, unit)` — mirror of
+/// [`unit_operand_left`], additionally skipping a unary minus.
+fn unit_operand_right(toks: &[Token], op: usize) -> Option<(String, String)> {
+    let mut j = op + 1;
+    if toks.get(j).is_some_and(|t| t.is_punct("-")) {
+        j += 1;
+    }
+    toks.get(j)?.ident()?;
+    // Follow the field chain to its final segment.
+    let mut last = j;
+    while toks.get(last + 1).is_some_and(|t| t.is_punct("."))
+        && toks.get(last + 2).and_then(Token::ident).is_some()
+    {
+        last += 2;
+    }
+    let carrier = toks[last].ident()?;
+    let unit = unit_of(carrier)?;
+    if let Some(after) = toks.get(last + 1) {
+        // A call's result unit is unknown; `*`/`/` transforms the unit.
+        if after.is_punct("(") || after.is_punct("*") || after.is_punct("/") {
+            return None;
+        }
+    }
+    Some((carrier.to_owned(), unit))
+}
+
+/// The workspace-wide call-graph rules `D3` and `A1`.
+fn graph_rules(data: &[FileData<'_>]) -> (Vec<Finding>, WorkspaceStats) {
+    // Test-path files never contribute nodes: the hazards policed here
+    // are about simulation results, which tests only consume.
+    let graph_files: Vec<(String, &ParsedFile)> = data
+        .iter()
+        .filter(|fd| !fd.class.is_test_path)
+        .map(|fd| (fd.rel_path.to_owned(), &fd.parsed))
+        .collect();
+    // Alloc-named method calls on unpinned receivers are std-container
+    // calls in practice; they stay visible as A1 call sites but do not
+    // become traversal edges (see `CallGraph::build`).
+    let graph = CallGraph::build(&graph_files, ALLOC_METHODS);
+    let stats = WorkspaceStats {
+        functions_indexed: graph.nodes.len(),
+        call_edges: graph.edge_count(),
+    };
+    let by_path: BTreeMap<&str, &FileData<'_>> = data.iter().map(|fd| (fd.rel_path, fd)).collect();
+
+    let mut out = Vec::new();
+
+    // D3 — purity of everything reachable from the sim entry points.
+    let entries = graph.find(|n| {
+        SIM_ENTRY_POINTS.iter().any(|(ty, prefix)| {
+            n.def.self_ty.as_deref() == Some(*ty) && n.def.name.starts_with(prefix)
+        })
+    });
+    let reach = graph.reachable_from(&entries);
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if reach[i].is_none() {
+            continue;
+        }
+        let Some(fd) = by_path.get(node.path.as_str()) else {
+            continue;
+        };
+        let Some((start, end)) = node.def.body else {
+            continue;
+        };
+        for t in &fd.lexed.tokens[start..end] {
+            let Some(name) = t.ident() else { continue };
+            let hazard = if NONDETERMINISM_SOURCES.contains(&name) {
+                "wall-clock/entropy source"
+            } else if name == "HashMap" || name == "HashSet" {
+                "hash-ordered container"
+            } else {
+                continue;
+            };
+            out.push(Finding {
+                path: node.path.clone(),
+                line: t.line,
+                rule: "D3",
+                message: format!(
+                    "{hazard} `{name}` is reachable from a sim entry point via \
+                     `{}`: simulation output must be a pure function of seeded \
+                     inputs on every call path",
+                    graph.chain(&reach, i)
+                ),
+                excerpt: String::new(),
+            });
+        }
+    }
+
+    // A1 — allocation calls reachable from the per-event hot paths.
+    let roots = graph.find(|n| {
+        HOT_PATH_ROOTS
+            .iter()
+            .any(|(ty, m)| n.def.self_ty.as_deref() == Some(*ty) && n.def.name == *m)
+    });
+    let hot = graph.reachable_from(&roots);
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if hot[i].is_none() {
+            continue;
+        }
+        for call in &node.def.calls {
+            let marker = match call.kind {
+                CallKind::Macro => ALLOC_MACROS.contains(&call.name.as_str()),
+                CallKind::Method => ALLOC_METHODS.contains(&call.name.as_str()),
+                CallKind::Path => ALLOC_PATH_CALLS
+                    .iter()
+                    .any(|(q, m)| call.qual.as_deref() == Some(*q) && call.name == *m),
+                CallKind::Bare => false,
+            };
+            if !marker {
+                continue;
+            }
+            let shown = match (call.kind, &call.qual) {
+                (CallKind::Path, Some(q)) => format!("{q}::{}", call.name),
+                (CallKind::Method, _) => format!(".{}()", call.name),
+                _ => call.name.clone(),
+            };
+            out.push(Finding {
+                path: node.path.clone(),
+                line: call.line,
+                rule: "A1",
+                message: format!(
+                    "allocation call `{shown}` in a function reachable from the per-event \
+                     hot paths via `{}`: the steady state must be allocation-free \
+                     (DESIGN.md §3.6/§3.8) — pre-size, reuse, or pragma with the \
+                     amortization argument",
+                    graph.chain(&hot, i)
+                ),
+                excerpt: String::new(),
+            });
+        }
+    }
+
+    (out, stats)
 }
 
 #[cfg(test)]

@@ -1,0 +1,16 @@
+//! A1 positive: the event-queue push path allocates per event.
+pub struct EventQueue {
+    slots: Vec<u64>,
+}
+
+impl EventQueue {
+    pub fn push(&mut self, t: u64) {
+        self.grow(t);
+    }
+
+    fn grow(&mut self, t: u64) {
+        let mut extra: Vec<u64> = Vec::new();
+        extra.push(t);
+        self.slots.extend(extra);
+    }
+}

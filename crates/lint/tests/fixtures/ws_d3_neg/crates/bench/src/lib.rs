@@ -1,0 +1,10 @@
+//! Wall-clock helper used only by the bench harness itself — never on a
+//! call path from a sim entry point, so D3 stays quiet.
+pub fn elapsed_s() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn harness() -> f64 {
+    elapsed_s()
+}

@@ -1,0 +1,6 @@
+//! Wall-clock helper: D2 never looks at bench crates, so this file is
+//! D2-clean even though it reads `Instant`.
+pub fn elapsed_s() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

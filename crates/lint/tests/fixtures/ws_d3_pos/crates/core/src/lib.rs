@@ -1,0 +1,9 @@
+//! D3 positive: the sim entry point reaches a wall-clock read hiding in
+//! a bench crate — transitive impurity that token-local D2 cannot see.
+pub struct ServingEngine;
+
+impl ServingEngine {
+    pub fn run(&mut self) -> f64 {
+        dcm_bench::elapsed_s()
+    }
+}

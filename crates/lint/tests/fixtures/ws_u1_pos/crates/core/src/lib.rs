@@ -1,0 +1,4 @@
+//! U1 positive: adds seconds to bytes.
+pub fn total(compute_s: f64, bus_bytes: f64) -> f64 {
+    compute_s + bus_bytes
+}

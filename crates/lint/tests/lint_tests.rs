@@ -35,6 +35,9 @@ fn positive_fixtures_fire_their_rule_and_fail_the_run() {
         ("ws_p1_pos", "P1"),
         ("ws_lint_pos", "LINT"),
         ("ws_stale", "STALE"),
+        ("ws_d3_pos", "D3"),
+        ("ws_u1_pos", "U1"),
+        ("ws_a1_pos", "A1"),
     ] {
         let out = dcm_lint::run(&fixture(ws), false).expect("fixture scan");
         assert!(
@@ -59,6 +62,10 @@ fn negative_fixtures_are_clean() {
         "ws_c1_neg",
         "ws_p1_neg",
         "ws_pragma_ok",
+        "ws_pragma_parens",
+        "ws_d3_neg",
+        "ws_u1_neg",
+        "ws_a1_neg",
     ] {
         let got = run_rules(ws);
         assert!(got.is_empty(), "{ws}: expected clean, got {got:?}");
@@ -92,6 +99,68 @@ fn lint_meta_findings_are_not_suppressible_by_a_baseline() {
         !live.is_empty() && live.iter().all(|f| f.rule == "LINT"),
         "LINT findings must survive any baseline: {live:?}"
     );
+}
+
+#[test]
+fn d3_catches_transitive_wall_clock_that_d2_misses() {
+    // The fixture's `Instant::now()` sits in a bench crate, which D2
+    // exempts by design — yet `ServingEngine::run` reaches it through a
+    // cross-crate call. Only the call-graph rule sees the impurity.
+    let out = dcm_lint::run(&fixture("ws_d3_pos"), false).expect("fixture scan");
+    assert!(
+        out.findings.iter().all(|f| f.rule != "D2"),
+        "fixture must be D2-clean: {:?}",
+        out.findings
+    );
+    let d3: Vec<_> = out.findings.iter().filter(|f| f.rule == "D3").collect();
+    assert!(!d3.is_empty(), "expected a D3 finding: {:?}", out.findings);
+    assert!(
+        d3[0].path == "crates/bench/src/lib.rs" && d3[0].message.contains("ServingEngine::run"),
+        "finding must name the hazard file and the entry-point chain: {d3:?}"
+    );
+}
+
+#[test]
+fn a1_names_the_hot_path_chain() {
+    let out = dcm_lint::run(&fixture("ws_a1_pos"), false).expect("fixture scan");
+    let a1: Vec<_> = out.findings.iter().filter(|f| f.rule == "A1").collect();
+    assert!(
+        a1.iter().any(|f| f.message.contains("EventQueue::push")),
+        "A1 must cite the reachability chain from the hot-path root: {a1:?}"
+    );
+}
+
+#[test]
+fn fix_baseline_only_shrinks_the_checked_in_baseline() {
+    // The baseline is a ratchet: regenerating it against the current tree
+    // must never introduce a (rule, path, source-line) group that the
+    // checked-in `lint.allow` does not already carry, and no group's
+    // count may grow. New debt goes through a fix or a reasoned pragma.
+    let root = workspace_root();
+    let out = dcm_lint::run(&root, true).expect("workspace scan");
+    let regenerated = out.new_baseline.expect("fix-baseline content");
+    let checked_in = std::fs::read_to_string(root.join("lint.allow")).expect("read lint.allow");
+    let groups = |s: &str| -> std::collections::BTreeMap<(String, String, String), u64> {
+        s.lines()
+            .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+            .map(|l| {
+                let mut parts = l.splitn(4, '\t');
+                let rule = parts.next().unwrap_or_default().to_owned();
+                let path = parts.next().unwrap_or_default().to_owned();
+                let count: u64 = parts.next().unwrap_or_default().parse().unwrap_or(0);
+                let src = parts.next().unwrap_or_default().to_owned();
+                ((rule, path, src), count)
+            })
+            .collect()
+    };
+    let old = groups(&checked_in);
+    for (key, count) in groups(&regenerated) {
+        let prior = old.get(&key);
+        assert!(
+            prior.is_some_and(|&c| count <= c),
+            "baseline may only shrink: {key:?} is new or grew ({count} > {prior:?})"
+        );
+    }
 }
 
 #[test]

@@ -5,6 +5,7 @@
 //! per-transaction DRAM overhead. Streaming accesses amortize row
 //! activations and run at the device's streaming efficiency.
 
+use dcm_core::cast;
 use dcm_core::cost::{Engine, OpCost};
 use dcm_core::specs::{DeviceSpec, MemorySpec};
 use serde::{Deserialize, Serialize};
@@ -47,7 +48,7 @@ impl MemCost {
     #[must_use]
     pub fn useful_bandwidth(&self) -> f64 {
         if self.time_s > 0.0 {
-            self.useful_bytes as f64 / self.time_s
+            cast::u64_to_f64(self.useful_bytes) / self.time_s
         } else {
             0.0
         }
@@ -132,7 +133,7 @@ impl HbmModel {
             AccessPattern::Stream => {
                 let bus = self.mem.bus_bytes(count * size);
                 MemCost {
-                    time_s: bus as f64 / self.mem.stream_bandwidth(),
+                    time_s: cast::u64_to_f64(bus) / self.mem.stream_bandwidth(),
                     bus_bytes: bus,
                     useful_bytes: useful,
                 }
@@ -148,7 +149,7 @@ impl HbmModel {
                     (per_access_bus as usize / self.mem.min_access_bytes).max(1);
                 let ramp = self.ramp(count * chunks_per_access);
                 MemCost {
-                    time_s: charged as f64 / (self.mem.random_bandwidth() * ramp),
+                    time_s: cast::u64_to_f64(charged) / (self.mem.random_bandwidth() * ramp),
                     bus_bytes: bus,
                     useful_bytes: useful,
                 }
@@ -169,7 +170,7 @@ impl HbmModel {
         let per_access_bus = self.mem.bus_bytes(size);
         let bus = per_access_bus * count as u64;
         MemCost {
-            time_s: bus as f64 / self.mem.stream_bandwidth(),
+            time_s: cast::u64_to_f64(bus) / self.mem.stream_bandwidth(),
             bus_bytes: bus,
             useful_bytes: (count * size) as u64,
         }
@@ -179,15 +180,16 @@ impl HbmModel {
     /// reaches with `count` independent transactions in flight.
     #[must_use]
     pub fn ramp(&self, count: usize) -> f64 {
-        let x = count as f64 / SATURATION_INFLIGHT as f64;
-        x.min(1.0).max(1.0 / SATURATION_INFLIGHT as f64)
+        let x = cast::usize_to_f64(count) / cast::usize_to_f64(SATURATION_INFLIGHT);
+        x.min(1.0)
+            .max(1.0 / cast::usize_to_f64(SATURATION_INFLIGHT))
     }
 
     /// Time to stream `bytes` at peak streaming bandwidth (bulk copies,
     /// weight loads).
     #[must_use]
     pub fn stream_time(&self, bytes: u64) -> f64 {
-        bytes as f64 / self.mem.stream_bandwidth()
+        cast::u64_to_f64(bytes) / self.mem.stream_bandwidth()
     }
 }
 
@@ -264,7 +266,7 @@ mod tests {
                         .bandwidth_utilization(peak)
                 })
                 .sum::<f64>()
-                / sizes.len() as f64
+                / cast::usize_to_f64(sizes.len())
         };
         let g_big = avg(&gaudi(), &sizes_big);
         let a_big = avg(&a100(), &sizes_big);

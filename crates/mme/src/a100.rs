@@ -18,7 +18,8 @@
 //! the A100 trails Gaudi-2 in compute utilization across GEMM shapes
 //! (Figure 5) despite its mature software stack.
 
-use crate::{GemmEngine, GemmRun, GemmShape};
+use crate::{GemmConfig, GemmEngine, GemmRun, GemmShape};
+use dcm_core::cast;
 use dcm_core::cost::{Engine, OpCost};
 use dcm_core::specs::DeviceSpec;
 use dcm_core::DType;
@@ -86,7 +87,7 @@ impl A100TensorCore {
     #[must_use]
     pub fn new(spec: &DeviceSpec) -> Self {
         let m = &spec.matrix;
-        let macs_per_sm_cycle = m.peak_flops_bf16 / 2.0 / m.clock_hz / m.count as f64;
+        let macs_per_sm_cycle = m.peak_flops_bf16 / 2.0 / m.clock_hz / cast::usize_to_f64(m.count);
         A100TensorCore {
             name: format!("{} TensorCore", spec.name),
             sm_count: m.count,
@@ -113,7 +114,7 @@ impl A100TensorCore {
                 let compute = self.cycles(shape, choice, batch, dtype) / self.clock_hz;
                 let bytes = shape.ideal_bytes(DType::Bf16) * batch as u64
                     + self.splitk_bytes(shape, choice, batch);
-                let t = compute.max(bytes as f64 / self.stream_bw);
+                let t = compute.max(cast::u64_to_f64(bytes) / self.stream_bw);
                 if best.is_none_or(|(bc, _)| t < bc) {
                     best = Some((t, choice));
                 }
@@ -151,12 +152,14 @@ impl A100TensorCore {
         let ilp = if matches!(dtype, DType::Fp32 | DType::Int32) {
             1.0
         } else {
-            ((t.height * t.width * ctas_per_sm) as f64 / FULL_ILP_TILE_AREA as f64).min(1.0)
+            (cast::usize_to_f64(t.height * t.width * ctas_per_sm)
+                / cast::usize_to_f64(FULL_ILP_TILE_AREA))
+            .min(1.0)
         };
         let k_per_tile = shape.k.div_ceil(t.split_k);
-        let tile_cycles =
-            (t.height * t.width) as f64 * k_per_tile as f64 / (self.macs_per_sm_cycle * ilp);
-        waves as f64 * (tile_cycles + WAVE_OVERHEAD_CYCLES)
+        let tile_cycles = cast::usize_to_f64(t.height * t.width) * cast::usize_to_f64(k_per_tile)
+            / (self.macs_per_sm_cycle * ilp);
+        cast::usize_to_f64(waves) * (tile_cycles + WAVE_OVERHEAD_CYCLES)
     }
 
     fn dtype_slowdown(&self, dtype: DType) -> f64 {
@@ -174,17 +177,22 @@ impl A100TensorCore {
             + LAUNCH_OVERHEAD_S;
         // Split-K kernels write and re-read partial sums in FP32.
         let bytes = shape.ideal_bytes(dtype) * batch as u64 + self.splitk_bytes(shape, tile, batch);
-        let memory_s = bytes as f64 / self.stream_bw;
+        let memory_s = cast::u64_to_f64(bytes) / self.stream_bw;
         GemmRun {
             cost: OpCost {
                 engine: Engine::Matrix,
                 compute_s,
                 memory_s,
-                flops: shape.flops() * batch as f64,
+                flops: shape.flops() * cast::usize_to_f64(batch),
                 bus_bytes: bytes,
                 useful_bytes: bytes,
             },
-            config: format!("cta{}x{}k{}b{batch}", tile.height, tile.width, tile.split_k),
+            config: GemmConfig::Cta {
+                height: tile.height,
+                width: tile.width,
+                split_k: tile.split_k,
+                batch,
+            },
             powered_fraction: 1.0,
         }
     }
@@ -291,7 +299,11 @@ mod tests {
         // compute-bound; with it, memory (weight) streaming dominates.
         let a = tc();
         let run = a.gemm(GemmShape::new(8, 14336, 4096), DType::Bf16);
-        assert!(run.config.contains('k'), "config {}", run.config);
+        assert!(
+            run.config.to_string().contains('k'),
+            "config {}",
+            run.config
+        );
         // Near-balanced weight streaming: compute no more than ~30% above
         // the pure memory time (without split-K it would be several times
         // slower than memory).

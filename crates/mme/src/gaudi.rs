@@ -4,7 +4,7 @@
 
 use crate::geometry::{gaudi_candidates, Geometry};
 use crate::systolic;
-use crate::{GemmEngine, GemmRun, GemmShape};
+use crate::{GemmConfig, GemmEngine, GemmRun, GemmShape};
 use dcm_core::cost::{Engine, OpCost};
 use dcm_core::specs::DeviceSpec;
 use dcm_core::DType;
@@ -110,7 +110,7 @@ impl GemmEngine for GaudiMme {
                 bus_bytes: bytes,
                 useful_bytes: bytes,
             },
-            config: geometry.to_string(),
+            config: GemmConfig::Geometry(geometry),
             powered_fraction: geometry.powered_fraction(self.mac_budget),
         }
     }
@@ -187,7 +187,7 @@ impl GemmEngine for FixedSystolicBaseline {
                 bus_bytes: bytes,
                 useful_bytes: bytes,
             },
-            config: self.geometry.to_string(),
+            config: GemmConfig::Geometry(self.geometry),
             // A fixed array cannot gate geometry it does not know is unused.
             powered_fraction: 1.0,
         }

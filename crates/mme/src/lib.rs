@@ -93,13 +93,47 @@ impl fmt::Display for GemmShape {
     }
 }
 
+/// The geometry / tile an engine chose for one GEMM. Copyable so per-op
+/// cost evaluation never allocates (lint rule A1); render with `Display`
+/// only when a report actually prints it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GemmConfig {
+    /// An A100-style CTA tiling with split-K and batch factors.
+    Cta {
+        /// CTA tile rows.
+        height: usize,
+        /// CTA tile columns.
+        width: usize,
+        /// Split-K factor.
+        split_k: usize,
+        /// Batched-GEMM batch size.
+        batch: usize,
+    },
+    /// A Gaudi-style MAC-array geometry.
+    Geometry(Geometry),
+}
+
+impl fmt::Display for GemmConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GemmConfig::Cta {
+                height,
+                width,
+                split_k,
+                batch,
+            } => write!(f, "cta{height}x{width}k{split_k}b{batch}"),
+            GemmConfig::Geometry(g) => g.fmt(f),
+        }
+    }
+}
+
 /// Result of executing one GEMM on a modeled engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GemmRun {
     /// Timing and traffic of the execution.
     pub cost: OpCost,
-    /// Human-readable description of the chosen geometry / tile.
-    pub config: String,
+    /// The chosen geometry / tile (human-readable via `Display`).
+    pub config: GemmConfig,
     /// Fraction of the engine's MAC capacity powered during the run (< 1
     /// when Gaudi power-gates an unused sub-array; always 1 on A100).
     pub powered_fraction: f64,

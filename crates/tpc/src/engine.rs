@@ -16,6 +16,7 @@
 //! chip caps at streaming bandwidth. Sub-granularity accesses waste bus
 //! bytes *and* SIMD lanes.
 
+use dcm_core::cast;
 use dcm_core::cost::{Engine, OpCost};
 use dcm_core::specs::DeviceSpec;
 use dcm_core::DType;
@@ -31,8 +32,9 @@ const CHAIN_BASE_STAGES: usize = 1;
 /// One iteration of a STREAM-style loop body.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StreamKernel {
-    /// Kernel name for reports.
-    pub name: String,
+    /// Kernel name for reports. Static: kernels are a closed catalog,
+    /// and cost evaluation sits on the per-event hot path (lint rule A1).
+    pub name: &'static str,
     /// Vector loads per iteration (arrays read).
     pub loads: usize,
     /// Vector stores per iteration (arrays written).
@@ -52,7 +54,7 @@ impl StreamKernel {
     #[must_use]
     pub fn add() -> Self {
         StreamKernel {
-            name: "ADD".to_owned(),
+            name: "ADD",
             loads: 2,
             stores: 1,
             computes: 1,
@@ -66,7 +68,7 @@ impl StreamKernel {
     #[must_use]
     pub fn scale() -> Self {
         StreamKernel {
-            name: "SCALE".to_owned(),
+            name: "SCALE",
             loads: 1,
             stores: 1,
             computes: 1,
@@ -80,7 +82,7 @@ impl StreamKernel {
     #[must_use]
     pub fn triad() -> Self {
         StreamKernel {
-            name: "TRIAD".to_owned(),
+            name: "TRIAD",
             loads: 2,
             stores: 1,
             computes: 1,
@@ -119,7 +121,7 @@ impl StreamKernel {
     #[must_use]
     pub fn flops_per_iter(&self, dtype: DType) -> f64 {
         let elems = (self.granularity / dtype.size_bytes()).max(1);
-        (elems * self.computes * self.ops_per_instr) as f64
+        cast::usize_to_f64(elems * self.computes * self.ops_per_instr)
     }
 
     /// Useful bytes per iteration.
@@ -132,7 +134,7 @@ impl StreamKernel {
     /// (ADD 1/6, SCALE 1/4, TRIAD 1/3 for BF16 — §3.2).
     #[must_use]
     pub fn operational_intensity(&self, dtype: DType) -> f64 {
-        self.flops_per_iter(dtype) / self.useful_bytes_per_iter() as f64
+        self.flops_per_iter(dtype) / cast::u64_to_f64(self.useful_bytes_per_iter())
     }
 }
 
@@ -163,7 +165,7 @@ impl VectorEngineModel {
             vector_bytes: v.vector_bytes,
             peak_bf16: v.peak_flops_bf16,
             instr_latency: v.instr_latency_cycles,
-            per_core_bw: chip_stream_bw / v.bw_saturation_cores as f64,
+            per_core_bw: chip_stream_bw / cast::usize_to_f64(v.bw_saturation_cores),
             chip_stream_bw,
             min_access_bytes: spec.memory.min_access_bytes,
         }
@@ -199,16 +201,17 @@ impl VectorEngineModel {
     /// `instr_latency` per stage and is divided by the unroll factor.
     #[must_use]
     pub fn cycles_per_iter(&self, kernel: &StreamKernel) -> f64 {
-        let unit_instrs = kernel.granularity.div_ceil(self.vector_bytes).max(1) as f64;
-        let slot = kernel.loads.max(kernel.stores).max(kernel.computes) as f64 * unit_instrs;
+        let unit_instrs = cast::usize_to_f64(kernel.granularity.div_ceil(self.vector_bytes).max(1));
+        let slot =
+            cast::usize_to_f64(kernel.loads.max(kernel.stores).max(kernel.computes)) * unit_instrs;
         if self.instr_latency == 0 {
             return slot;
         }
-        let chain_stages = (CHAIN_BASE_STAGES + kernel.computes) as f64;
+        let chain_stages = cast::usize_to_f64(CHAIN_BASE_STAGES + kernel.computes);
         let latency_total = slot + f64::from(self.instr_latency) * chain_stages;
         // Unrolling U independent iterations lets their instructions fill
         // each other's latency bubbles (§2.2 best practice #2).
-        slot.max(latency_total / kernel.unroll as f64)
+        slot.max(latency_total / cast::usize_to_f64(kernel.unroll))
     }
 
     /// Memory time per iteration on one core in seconds: every access is
@@ -218,9 +221,9 @@ impl VectorEngineModel {
     pub fn mem_time_per_iter(&self, kernel: &StreamKernel, cores_used: usize) -> f64 {
         let per_access_bus = round_up(kernel.granularity, self.min_access_bytes) as u64;
         let bus = per_access_bus * (kernel.loads + kernel.stores) as u64;
-        let bw =
-            (cores_used as f64 * self.per_core_bw).min(self.chip_stream_bw) / cores_used as f64;
-        bus as f64 / bw
+        let bw = (cast::usize_to_f64(cores_used) * self.per_core_bw).min(self.chip_stream_bw)
+            / cast::usize_to_f64(cores_used);
+        cast::u64_to_f64(bus) / bw
     }
 
     /// Sustained FLOP/s of one core running `kernel` (Figure 8(a,b)).
@@ -246,7 +249,7 @@ impl VectorEngineModel {
         let per_core = kernel.flops_per_iter(dtype) / compute_t.max(mem_t);
         // Lane waste for sub-vector granularity is already captured by
         // flops_per_iter (fewer useful elements per instruction).
-        per_core * cores_used as f64
+        per_core * cast::usize_to_f64(cores_used)
     }
 
     /// Vector-engine utilization: throughput over peak (right axes of
@@ -269,15 +272,16 @@ impl VectorEngineModel {
         let elems_per_iter = (kernel.granularity / dtype.size_bytes()).max(1);
         let iters = total_elems.div_ceil(elems_per_iter);
         let iters_per_core = iters.div_ceil(cores_used);
-        let compute_s = self.cycles_per_iter(kernel) * iters_per_core as f64 / self.clock_hz;
+        let compute_s =
+            self.cycles_per_iter(kernel) * cast::usize_to_f64(iters_per_core) / self.clock_hz;
         let per_access_bus = round_up(kernel.granularity, self.min_access_bytes) as u64;
         let bus = per_access_bus * (kernel.loads + kernel.stores) as u64 * iters as u64;
-        let bw = (cores_used as f64 * self.per_core_bw).min(self.chip_stream_bw);
+        let bw = (cast::usize_to_f64(cores_used) * self.per_core_bw).min(self.chip_stream_bw);
         OpCost {
             engine: Engine::Vector,
             compute_s,
-            memory_s: bus as f64 / bw,
-            flops: kernel.flops_per_iter(dtype) * iters as f64,
+            memory_s: cast::u64_to_f64(bus) / bw,
+            flops: kernel.flops_per_iter(dtype) * cast::usize_to_f64(iters),
             bus_bytes: bus,
             useful_bytes: kernel.useful_bytes_per_iter() * iters as u64,
         }

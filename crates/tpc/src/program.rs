@@ -17,6 +17,7 @@
 use crate::engine::VectorEngineModel;
 use crate::index_space::{IndexMember, IndexSpace};
 use crate::vliw::{self, Slot, TraceInstr};
+use dcm_core::cast;
 use dcm_core::cost::{Engine, OpCost};
 use dcm_core::error::{DcmError, Result};
 use dcm_core::specs::DeviceSpec;
@@ -308,7 +309,7 @@ impl<'a> TpcContext<'a> {
         }
         let n = self.instr_count(a.len() * 4);
         self.counters.computes += n;
-        self.counters.flops += flops_per_lane * a.len() as f64;
+        self.counters.flops += flops_per_lane * cast::usize_to_f64(a.len());
         let id = self.fresh_reg();
         self.record(Slot::Vpu, &[a.id, b.id], Some(id), n);
         Ok(VecReg {
@@ -348,7 +349,7 @@ impl<'a> TpcContext<'a> {
         }
         let n = self.instr_count(a.len() * 4);
         self.counters.computes += n;
-        self.counters.flops += 2.0 * a.len() as f64;
+        self.counters.flops += 2.0 * cast::usize_to_f64(a.len());
         let id = self.fresh_reg();
         self.record(Slot::Vpu, &[a.id, b.id, acc.id], Some(id), n);
         Ok(VecReg {
@@ -368,7 +369,7 @@ impl<'a> TpcContext<'a> {
     pub fn v_scale(&mut self, a: &VecReg, s: f32) -> VecReg {
         let n = self.instr_count(a.len() * 4);
         self.counters.computes += n;
-        self.counters.flops += a.len() as f64;
+        self.counters.flops += cast::usize_to_f64(a.len());
         let id = self.fresh_reg();
         self.record(Slot::Vpu, &[a.id], Some(id), n);
         VecReg {
@@ -399,7 +400,7 @@ impl<'a> TpcContext<'a> {
     pub fn v_exp(&mut self, a: &VecReg) -> VecReg {
         let n = self.instr_count(a.len() * 4);
         self.counters.computes += n;
-        self.counters.flops += a.len() as f64;
+        self.counters.flops += cast::usize_to_f64(a.len());
         let id = self.fresh_reg();
         self.record(Slot::Vpu, &[a.id], Some(id), n);
         VecReg {
@@ -413,7 +414,7 @@ impl<'a> TpcContext<'a> {
     pub fn v_recip(&mut self, a: &VecReg) -> VecReg {
         let n = self.instr_count(a.len() * 4);
         self.counters.computes += n;
-        self.counters.flops += a.len() as f64;
+        self.counters.flops += cast::usize_to_f64(a.len());
         let id = self.fresh_reg();
         self.record(Slot::Vpu, &[a.id], Some(id), n);
         VecReg {
@@ -455,9 +456,9 @@ impl<'a> TpcContext<'a> {
     /// real hardware; counted as one reduction instruction sequence).
     #[must_use]
     pub fn v_reduce_sum(&mut self, a: &VecReg) -> f32 {
-        let tree_depth = (a.len().max(2) as f64).log2().ceil() as u64;
+        let tree_depth = cast::f64_to_u64(cast::usize_to_f64(a.len().max(2)).log2().ceil());
         self.counters.computes += tree_depth;
-        self.counters.flops += a.len() as f64;
+        self.counters.flops += cast::usize_to_f64(a.len());
         self.record_reduction(a.id, tree_depth);
         a.data.iter().sum()
     }
@@ -475,7 +476,7 @@ impl<'a> TpcContext<'a> {
     /// Horizontal maximum of all lanes.
     #[must_use]
     pub fn v_reduce_max(&mut self, a: &VecReg) -> f32 {
-        let tree_depth = (a.len().max(2) as f64).log2().ceil() as u64;
+        let tree_depth = cast::f64_to_u64(cast::usize_to_f64(a.len().max(2)).log2().ceil());
         self.counters.computes += tree_depth;
         self.record_reduction(a.id, tree_depth);
         a.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
@@ -556,7 +557,8 @@ impl TpcExecutor {
             instr_latency: spec.vector.instr_latency_cycles,
             vector_lanes: spec.vector.vector_bytes / 4,
             vlm_capacity: spec.vector.vector_local_bytes,
-            per_core_bw: spec.memory.stream_bandwidth() / spec.vector.bw_saturation_cores as f64,
+            per_core_bw: spec.memory.stream_bandwidth()
+                / cast::usize_to_f64(spec.vector.bw_saturation_cores),
             chip_stream_bw: spec.memory.stream_bandwidth(),
         }
     }
@@ -639,15 +641,16 @@ impl TpcExecutor {
         let cores_used = self.cores.min(space.members()).max(1);
         #[allow(clippy::cast_possible_truncation)]
         let window = unroll.max(1) as u32;
-        let total_cycles = vliw::schedule(trace, window, self.instr_latency) as f64;
+        let total_cycles = cast::u64_to_f64(vliw::schedule(trace, window, self.instr_latency));
         // Members are independent and distributed across cores; the trace
         // schedule is member-linear, so the per-core share divides evenly.
-        let compute_s = total_cycles / cores_used as f64 / self.clock_hz;
+        let compute_s = total_cycles / cast::usize_to_f64(cores_used) / self.clock_hz;
 
         // Memory: streams coalesce chip-wide; random accesses pay
         // granularity waste and transaction overhead.
-        let stream_bw = (cores_used as f64 * self.per_core_bw).min(self.chip_stream_bw);
-        let stream_s = c.stream_bytes as f64 / stream_bw;
+        let stream_bw =
+            (cast::usize_to_f64(cores_used) * self.per_core_bw).min(self.chip_stream_bw);
+        let stream_s = cast::u64_to_f64(c.stream_bytes) / stream_bw;
         let (random_s, random_bus) = match c.random_bytes.checked_div(c.random_accesses) {
             Some(avg) => {
                 let mc = self.hbm.access(

@@ -131,6 +131,7 @@ impl BatchStats {
     fn hist_add(&mut self, b: usize, n: usize) {
         match self.block_hist.binary_search_by_key(&b, |&(k, _)| k) {
             Ok(i) => self.block_hist[i].1 += n,
+            // dcm-lint: allow(A1) histogram keys are distinct block counts, bounded by max sequence length / block size
             Err(i) => self.block_hist.insert(i, (b, n)),
         }
     }

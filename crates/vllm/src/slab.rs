@@ -135,11 +135,17 @@ impl SeqSlab {
                 generation: self.generation[i],
             }
         } else {
+            // dcm-lint: allow(A1) slab growth path: amortized doubling, hit only while the live set expands
             self.request.push(request);
+            // dcm-lint: allow(A1) slab growth path: amortized doubling, hit only while the live set expands
             self.remaining.push(remaining);
+            // dcm-lint: allow(A1) slab growth path: amortized doubling, hit only while the live set expands
             self.first_token_t.push(first_token_t);
+            // dcm-lint: allow(A1) slab growth path: amortized doubling, hit only while the live set expands
             self.produced.push(produced);
+            // dcm-lint: allow(A1) slab growth path: amortized doubling, hit only while the live set expands
             self.kv_tokens.push(kv_tokens);
+            // dcm-lint: allow(A1) slab growth path: amortized doubling, hit only while the live set expands
             self.generation.push(0);
             SlotId {
                 index: self.generation.len() - 1,
@@ -156,6 +162,7 @@ impl SeqSlab {
     pub fn remove(&mut self, slot: SlotId) -> Request {
         let i = self.idx(slot);
         self.generation[i] = self.generation[i].wrapping_add(1);
+        // dcm-lint: allow(A1) free list never exceeds slab capacity, so pushes reuse released capacity
         self.free.push(i);
         self.len -= 1;
         self.request[i]

@@ -9,6 +9,7 @@
 //! (KT#4) enters end-to-end performance.
 
 use dcm_compiler::{CompileOptions, Device, EwKind, Graph, Op};
+use dcm_core::cast;
 use dcm_core::cost::ExecStats;
 use dcm_core::energy::Activity;
 use dcm_core::DType;
@@ -73,7 +74,7 @@ impl LlamaConfig {
         let attn = self.hidden * (self.q_heads + 2 * self.kv_heads) * self.head_dim
             + self.q_heads * self.head_dim * self.hidden;
         let mlp = 3 * self.hidden * self.intermediate;
-        (self.layers * (attn + mlp) + 2 * self.vocab * self.hidden) as f64
+        cast::usize_to_f64(self.layers * (attn + mlp) + 2 * self.vocab * self.hidden)
     }
 
     /// KV-cache bytes per token per device at BF16 under `tp`-way tensor
@@ -248,19 +249,19 @@ impl ServeRun {
     /// Mean time per output token over the decode stage.
     #[must_use]
     pub fn tpot_s(&self, output_len: usize) -> f64 {
-        self.decode.time_s / output_len as f64
+        self.decode.time_s / cast::usize_to_f64(output_len)
     }
 
     /// Output tokens per second.
     #[must_use]
     pub fn throughput_tps(&self) -> f64 {
-        self.tokens_generated as f64 / self.total_time_s()
+        cast::usize_to_f64(self.tokens_generated) / self.total_time_s()
     }
 
     /// Energy per generated token in joules.
     #[must_use]
     pub fn energy_per_token(&self) -> f64 {
-        self.energy_j / self.tokens_generated as f64
+        self.energy_j / cast::usize_to_f64(self.tokens_generated)
     }
 }
 
@@ -323,7 +324,7 @@ impl LlamaServer {
                 .decode_step_graph(batch, mean_ctx.max(1), self.tp),
             &opts,
         );
-        let decode = step.stats.repeated(output_len as f64);
+        let decode = step.stats.repeated(cast::usize_to_f64(output_len));
         // Energy: per-phase power at per-phase activity, times devices.
         let prefill_power = device
             .power_model()
@@ -340,7 +341,7 @@ impl LlamaServer {
         let energy_per_device = prefill_power * prefill.stats.time_s + decode_power * decode.time_s;
         let total_time = prefill.stats.time_s + decode.time_s;
         ServeRun {
-            energy_j: energy_per_device * self.tp as f64,
+            energy_j: energy_per_device * cast::usize_to_f64(self.tp),
             power_w: energy_per_device / total_time,
             prefill: prefill.stats,
             decode,

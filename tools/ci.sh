@@ -19,6 +19,12 @@ cargo fmt --all --check
 echo "==> dcm-lint"
 cargo run -q --release -p dcm-lint
 
+# The report the lint run just wrote must conform to the schema that
+# EXPERIMENTS.md documents (schema_version 2): downstream tooling reads
+# it unconditionally, so drift fails the same CI run that produced it.
+echo "==> dcm-lint --validate-report results/lint_report.json"
+cargo run -q --release -p dcm-lint -- --validate-report results/lint_report.json
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
